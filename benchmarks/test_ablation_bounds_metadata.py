@@ -1,0 +1,107 @@
+"""Ablation: contiguous partitions (bounds in registers) vs
+per-allocation bounds metadata fetched from memory.
+
+The paper's design argument (§1, §4.4): G-NET-style per-allocation
+bounds require a metadata *load* before every access (reading bounds
+from memory "incurs significant overheads" [25]); Guardian's contiguous
+partitions keep one (base, mask) pair in registers. This benchmark
+builds both instrumentations for the same kernel and executes them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.masks import partition_mask
+from repro.core.patcher import PTXPatcher
+from repro.core.policy import FencingMode
+from repro.gpu.executor import KernelExecutor, compile_kernel
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.specs import QUADRO_RTX_A4000
+from repro.ptx.ast import Immediate
+from repro.ptx.builder import KernelBuilder
+
+from benchmarks.conftest import print_table
+
+BASE = 0x7F_A000_0000_00
+PART = 1 << 20
+#: Device address of the simulated metadata table.
+META = BASE + (1 << 22)
+
+
+def _streaming_kernel(metadata_bounds: bool):
+    """y[i] = x[i] * 2 with either register-fencing (added later by
+    the patcher) or inline metadata-fetch bounds checking."""
+    params = [("y", "u64"), ("x", "u64"), ("n", "u32")]
+    if metadata_bounds:
+        params.append(("meta", "u64"))
+    b = KernelBuilder("stream", params=params)
+    y = b.load_param_ptr("y")
+    x = b.load_param_ptr("x")
+    n = b.load_param("n", "u32")
+    meta = b.load_param_ptr("meta") if metadata_bounds else None
+    gid = b.global_thread_id()
+    with b.if_less_than(gid, n):
+        for pointer, is_store in ((x, False), (y, True)):
+            address = b.element_addr(pointer, gid, 4)
+            if metadata_bounds:
+                # Per-allocation scheme: fetch (base, mask) for this
+                # allocation from the metadata table, then fence.
+                base_reg = b.ld_global("u64", meta)
+                mask_reg = b.ld_global("u64", meta, offset=8)
+                address = b.and_("b64", address, mask_reg)
+                address = b.or_("b64", address, base_reg)
+            if is_store:
+                value = b.mul("f32", loaded, 2.0)
+                b.st_global("f32", address, value)
+            else:
+                loaded = b.ld_global("f32", address)
+    return b.build()
+
+
+def _run(kernel, params):
+    memory = GlobalMemory(1 << 24)
+    memory.write_array(BASE + 65536,
+                       np.ones(2048, dtype=np.float32))
+    memory.store_scalar(META, "u64", BASE)
+    memory.store_scalar(META + 8, "u64", partition_mask(PART))
+    executor = KernelExecutor(QUADRO_RTX_A4000, memory)
+    compiled = compile_kernel(kernel, QUADRO_RTX_A4000)
+    return executor.launch(compiled, (8, 1, 1), (128, 1, 1), params)
+
+
+def test_ablation_bounds_metadata(once):
+    def measure():
+        native = _run(_streaming_kernel(False),
+                      [BASE, BASE + 65536, 1024])
+        registers, _ = PTXPatcher(FencingMode.BITWISE).patch_kernel(
+            _streaming_kernel(False))
+        register_fenced = _run(
+            registers,
+            [BASE, BASE + 65536, 1024, BASE, partition_mask(PART)])
+        metadata_fenced = _run(_streaming_kernel(True),
+                               [BASE, BASE + 65536, 1024, META])
+        return native, register_fenced, metadata_fenced
+
+    native, registers, metadata = once(measure)
+    rows = [
+        ["native", f"{native.total_warp_cycles:.0f}", "-"],
+        ["register bounds (Guardian)",
+         f"{registers.total_warp_cycles:.0f}",
+         f"{registers.total_warp_cycles / native.total_warp_cycles - 1:+.1%}"],
+        ["metadata bounds (G-NET style)",
+         f"{metadata.total_warp_cycles:.0f}",
+         f"{metadata.total_warp_cycles / native.total_warp_cycles - 1:+.1%}"],
+    ]
+    print_table("Ablation: where the bounds live",
+                ["scheme", "warp-cycles", "overhead"], rows)
+
+    register_overhead = (registers.total_warp_cycles
+                         / native.total_warp_cycles - 1)
+    metadata_overhead = (metadata.total_warp_cycles
+                         / native.total_warp_cycles - 1)
+    # The design argument: metadata fetches cost a multiple of the
+    # register scheme.
+    assert metadata_overhead > 2 * register_overhead
+    assert register_overhead < 0.25
+    # Metadata loads also add real memory traffic.
+    assert metadata.loads > registers.loads

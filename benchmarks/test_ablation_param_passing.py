@@ -1,0 +1,100 @@
+"""Ablation: how the partition (base, mask) reaches the kernel.
+
+The paper weighs three designs (§4.4) and picks extra parameters:
+
+1. **extra kernel parameters** — +400 cycles of augment per launch,
+   compiled once at server start;
+2. **per-partition binaries** — mask hard-coded: no augment, but one
+   JIT compilation per (kernel, partition) pair; "does not scale when
+   multiple applications use thousands of kernels";
+3. **JIT at launch** — no precompilation: every launch pays a JIT.
+
+This benchmark prices all three from measured components.
+"""
+
+import pytest
+
+from repro.core.server import ServerCostModel
+from repro.driver.jit import JIT_CYCLES_PER_KERNEL
+
+from benchmarks.conftest import print_table
+
+#: PyTorch-scale kernel population (paper Table 3: 27987 kernels).
+KERNELS = 28_000
+#: Co-located tenants.
+TENANTS = 4
+#: Launches in one training run (the paper's runs launch millions;
+#: one epoch's worth here).
+LAUNCHES = 1_000_000
+
+
+def _price():
+    costs = ServerCostModel()
+    startup_params = KERNELS * JIT_CYCLES_PER_KERNEL * 2  # native+sbx
+    per_launch_params = costs.lookup + costs.augment
+
+    startup_binaries = KERNELS * JIT_CYCLES_PER_KERNEL * (TENANTS + 1)
+    per_launch_binaries = costs.lookup
+
+    startup_jit = 0
+    per_launch_jit = costs.lookup + JIT_CYCLES_PER_KERNEL
+
+    def total(startup, per_launch):
+        return startup + per_launch * LAUNCHES
+
+    return {
+        "extra params (Guardian)": (
+            startup_params, per_launch_params,
+            total(startup_params, per_launch_params)),
+        "per-partition binaries": (
+            startup_binaries, per_launch_binaries,
+            total(startup_binaries, per_launch_binaries)),
+        "JIT per launch": (
+            startup_jit, per_launch_jit,
+            total(startup_jit, per_launch_jit)),
+    }
+
+
+def test_ablation_param_passing(once):
+    prices = once(_price)
+    rows = [
+        [name, f"{startup / 1e6:.0f}M", per_launch,
+         f"{total_cycles / 1e9:.1f}G"]
+        for name, (startup, per_launch, total_cycles) in prices.items()
+    ]
+    print_table(
+        "Ablation: delivering (base, mask) to kernels "
+        f"({TENANTS} tenants, {KERNELS} kernels, {LAUNCHES:,} launches)",
+        ["scheme", "startup cycles", "cycles/launch", "total cycles"],
+        rows,
+    )
+    totals = {name: total_cycles
+              for name, (_, _, total_cycles) in prices.items()}
+    # Guardian's choice wins at framework scale.
+    assert totals["extra params (Guardian)"] == min(totals.values())
+    # JIT-per-launch is an order of magnitude worse (the paper's
+    # "considerable overhead").
+    assert (totals["JIT per launch"]
+            > 10 * totals["extra params (Guardian)"])
+    # Per-partition binaries lose on startup as tenants grow.
+    startup_params = prices["extra params (Guardian)"][0]
+    startup_binaries = prices["per-partition binaries"][0]
+    assert startup_binaries > 2 * startup_params
+
+
+def test_ablation_augment_measured(benchmark):
+    """The 400-cycle augment is a real array copy; measure the wall
+    time of the operation it models (param list extension)."""
+    from repro.core.bounds_table import PartitionBoundsTable
+    from repro.core.policy import FencingMode
+
+    table = PartitionBoundsTable()
+    record = table.register("app", 0x7F_A000_0000_00, 1 << 20)
+    params = [1, 2, 3, 4, 5, 6]
+
+    def augment():
+        return list(params) + record.extra_param_values(
+            FencingMode.BITWISE)
+
+    result = benchmark(augment)
+    assert len(result) == 8

@@ -1,0 +1,139 @@
+"""Fig. 11: per-kernel fencing overhead as a function of cache hit
+ratio.
+
+Paper findings for the lenet kernel population: average fencing
+overhead ~3.2%; ML kernels have low L1 hit ratios (~37%) and higher L2
+(~72%), which is *why* the 8-cycle fence disappears behind 193-285
+cycle accesses. Synthetic sweep: at a forced ~100% L1-hit ratio the
+overhead rises toward the 28-57% worst case.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import Profiler
+from repro.core.masks import partition_mask
+from repro.core.patcher import PTXPatcher
+from repro.core.policy import FencingMode
+from repro.gpu.device import Device
+from repro.gpu.executor import compile_kernel
+from repro.gpu.specs import QUADRO_RTX_A4000
+from repro.ptx.ast import Immediate
+from repro.ptx.builder import KernelBuilder
+
+from benchmarks.conftest import print_table
+from tests.conftest import saxpy_kernel
+
+
+def _streaming_kernel():
+    """One pass, one 128-byte line per thread: zero reuse, so every
+    access goes to DRAM — the regime large ML tensors live in.
+    (Coalesced unit-stride kernels share lines *within* a warp, which
+    the per-thread cache model counts as hits; striding by the line
+    size removes that artefact and exposes the true no-reuse ratio.)"""
+    b = KernelBuilder("stride", params=[("buf", "u64"), ("n", "u32")])
+    buf = b.load_param_ptr("buf")
+    n = b.load_param("n", "u32")
+    gid = b.global_thread_id()
+    with b.if_less_than(gid, n):
+        line_index = b.mul("u32", gid, Immediate(32))
+        address = b.element_addr(buf, line_index, 4)
+        value = b.ld_global("f32", address)
+        b.st_global("f32", address, b.add("f32", value, 1.0))
+    return b.build()
+
+
+def _l1_resident_kernel():
+    """Many passes over 32 cache-resident words: ~100% L1 hits."""
+    b = KernelBuilder("hotloop", params=[("buf", "u64"), ("iters", "u32")])
+    buf = b.load_param_ptr("buf")
+    iters = b.load_param("iters", "u32")
+    tid = b.special("%tid.x")
+    address = b.element_addr(buf, tid, 4)
+    with b.loop(iters):
+        value = b.ld_global("f32", address)
+        b.st_global("f32", address, b.add("f32", value, 1.0))
+    return b.build()
+
+
+BASE = 0x7F_A000_0000_00
+PART = 1 << 22
+
+
+def _overhead(kernel, grid, block, params, max_blocks=None):
+    results = {}
+    for fenced in (False, True):
+        device = Device(QUADRO_RTX_A4000, keep_launch_results=True)
+        if fenced:
+            run_kernel, _ = PTXPatcher(FencingMode.BITWISE).patch_kernel(
+                kernel)
+            launch_params = list(params) + [BASE, partition_mask(PART)]
+        else:
+            run_kernel, launch_params = kernel, list(params)
+        compiled = compile_kernel(run_kernel, device.spec)
+        context = device.create_context("bench")
+        device.memory.write_array(
+            BASE + (1 << 20), np.ones(65536, dtype=np.float32))
+        result = device.executor.launch(compiled, grid, block,
+                                        launch_params,
+                                        max_blocks=max_blocks)
+        results[fenced] = result
+    native, fenced_result = results[False], results[True]
+    overhead = (fenced_result.total_warp_cycles
+                / native.total_warp_cycles - 1)
+    return overhead, native
+
+
+def test_fig11_cache_sensitivity(once):
+    def sweep():
+        rows = {}
+        rows["streaming (global-bound)"] = _overhead(
+            _streaming_kernel(), (16, 1, 1), (128, 1, 1),
+            [BASE, 2048])
+        rows["L1-resident hot loop"] = _overhead(
+            _l1_resident_kernel(), (1, 1, 1), (32, 1, 1),
+            [BASE, 64])
+        return rows
+
+    rows = once(sweep)
+    printable = []
+    for name, (overhead, native) in rows.items():
+        printable.append([
+            name,
+            f"{native.l1_hit_ratio:.0%}",
+            f"{overhead:+.1%}",
+        ])
+    print_table("Fig. 11: fencing overhead vs cache behaviour",
+                ["kernel", "L1 hit ratio", "fencing overhead"],
+                printable)
+
+    streaming_overhead, streaming = rows["streaming (global-bound)"]
+    resident_overhead, resident = rows["L1-resident hot loop"]
+    # The paper's crossover: overhead grows with cache residency.
+    assert resident.l1_hit_ratio > streaming.l1_hit_ratio
+    assert resident_overhead > streaming_overhead
+    # Worst case (all L1): tens of percent (paper: 28%-57%).
+    assert 0.10 < resident_overhead < 0.60
+    # Typical ML kernel: single-digit percent (paper: avg 3.2%).
+    assert streaming_overhead < 0.10
+
+
+def test_fig11_lenet_kernel_population(once):
+    """Overhead of the actual lenet training kernels at their natural
+    hit ratios (the paper's population average: ~3.2%)."""
+    def run():
+        from repro.sharing.standalone import run_standalone
+        from repro.sharing.workload_mixes import _ml_workload
+
+        factory = lambda: _ml_workload("lenet", epochs=1, seed=0,
+                                       samples=16, batch=16)
+        native = run_standalone(factory(), "native", max_blocks=4)
+        fenced = run_standalone(factory(), "bitwise", max_blocks=4)
+        noprot = run_standalone(factory(), "noprot", max_blocks=4)
+        # Isolate the device-side fencing cost: fenced vs noprot.
+        return (fenced.device_makespan_seconds
+                / noprot.device_makespan_seconds - 1)
+
+    device_overhead = once(run)
+    # Paper: ~3.2% average device-side overhead for lenet kernels.
+    assert 0.0 < device_overhead < 0.10

@@ -1,0 +1,52 @@
+"""Fig. 6: bit-masking latency (~8 cycles) against the memory
+latencies it hides behind (L1 28, L2 193, global 220-350)."""
+
+from repro.gpu.latency import GUARDED_BRANCH_CYCLES, CostModel
+from repro.gpu.specs import QUADRO_RTX_A4000
+from repro.ptx import isa
+
+from benchmarks.conftest import print_table
+
+
+def _landscape():
+    model = CostModel(QUADRO_RTX_A4000)
+    fence_cycles = 2 * model.compute_cost("and.b64", guarded=False)
+    check_cycles = 2 * (model.compute_cost("setp.lt.u64", False)
+                        + GUARDED_BRANCH_CYCLES)
+    return {
+        "bitwise fence (AND+OR)": fence_cycles,
+        "conditional check (2x setp+bra)": check_cycles,
+        "L1 hit": model.memory_cost("l1"),
+        "L2 hit": model.memory_cost("l2"),
+        "global memory (typical)": model.memory_cost("global"),
+    }
+
+
+def test_fig6_latency_landscape(once):
+    landscape = once(_landscape)
+    print_table("Fig. 6: latency landscape (cycles)",
+                ["event", "cycles"],
+                [[name, cycles] for name, cycles in landscape.items()])
+    # Paper constants.
+    assert landscape["bitwise fence (AND+OR)"] == 8
+    assert landscape["conditional check (2x setp+bra)"] == 80
+    assert landscape["L1 hit"] == 28
+    assert landscape["L2 hit"] == 193
+    assert 220 <= landscape["global memory (typical)"] <= 350
+    # The argument: the fence costs ~30% of even an L1 hit, and ~3% of
+    # a global access.
+    fence = landscape["bitwise fence (AND+OR)"]
+    assert fence / landscape["L1 hit"] < 0.35
+    assert fence / landscape["global memory (typical)"] < 0.05
+
+
+def test_fig6_worst_case_l1_resident(once):
+    """Paper: 'in the rare case that all data are in L1 (100% hit
+    ratio), our approach implies ~30% overhead'."""
+    def ratio():
+        model = CostModel(QUADRO_RTX_A4000)
+        fence = 2 * isa.LATENCY_CLASSES["alu"]
+        return fence / model.memory_cost("l1")
+
+    overhead = once(ratio)
+    assert 0.25 < overhead < 0.35

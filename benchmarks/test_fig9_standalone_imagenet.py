@@ -1,0 +1,73 @@
+"""Fig. 9: ImageNet-class networks (Caffe and PyTorch model zoos)
+under the five standalone configurations.
+
+Paper shape: fencing 4.5-10% over native for the Caffe zoo; the
+PyTorch zoo pays ~5.5% interception + ~7.6% fencing.
+"""
+
+import pytest
+
+from repro.sharing.standalone import STANDALONE_CONFIGS, run_standalone_suite
+from repro.sharing.workload_mixes import _ml_workload
+
+from benchmarks.conftest import FULL, MAX_BLOCKS, print_table
+
+CAFFE_NETS = ("googlenet", "alexnet", "caffenet") if FULL else (
+    "alexnet",)
+PYTORCH_NETS = ("vgg11", "mobilenetv2", "resnet50") if FULL else (
+    "mobilenetv2", "resnet50")
+
+CONFIGS = ("native", "noprot", "bitwise")
+
+
+def _suite(model):
+    return run_standalone_suite(
+        lambda: _ml_workload(model, epochs=1, seed=0,
+                             samples=8, batch=8),
+        configs=CONFIGS,
+        max_blocks=MAX_BLOCKS,
+    )
+
+
+@pytest.fixture(scope="module")
+def results():
+    nets = list(CAFFE_NETS) + list(PYTORCH_NETS)
+    return {model: _suite(model) for model in nets}
+
+
+def test_fig9_imagenet_networks(once, results):
+    data = once(lambda: results)
+    rows = []
+    for model, times in data.items():
+        zoo = "Caffe" if model in CAFFE_NETS else "PyTorch"
+        native = times["native"]
+        rows.append([
+            model, zoo,
+            *(f"{times[c] / native:.3f}x" for c in CONFIGS),
+        ])
+    print_table(
+        "Fig. 9: ImageNet-class training, normalised to native",
+        ["model", "zoo", *CONFIGS],
+        rows,
+    )
+
+
+def test_fig9_fencing_band(results, once):
+    once(lambda: None)  # participate under --benchmark-only
+    for model, times in results.items():
+        overhead = times["bitwise"] / times["native"] - 1
+        # Paper bands: 4.5%-10% (Caffe zoo), up to ~13% (PyTorch zoo).
+        assert 0.0 < overhead < 0.22, (model, overhead)
+
+
+def test_fig9_interception_component(results, once):
+    once(lambda: None)  # participate under --benchmark-only
+    for model, times in results.items():
+        overhead = times["noprot"] / times["native"] - 1
+        assert -0.02 < overhead < 0.15, (model, overhead)
+
+
+def test_fig9_fencing_exceeds_interception(results, once):
+    once(lambda: None)  # participate under --benchmark-only
+    for model, times in results.items():
+        assert times["bitwise"] >= times["noprot"], model

@@ -1,0 +1,52 @@
+"""Table 1: PTX/cuBIN presence per CUDA version x GPU architecture."""
+
+from repro.driver.fatbin import ARCHITECTURES, build_fatbin, describe
+from repro.libs.cublas import cublas_fatbin
+from repro.ptx.builder import build_module
+from repro.libs.kernels import blas
+
+from benchmarks.conftest import print_table
+
+#: (CUDA version, expected representation per architecture) — the
+#: paper's Table 1 rows.
+PAPER_ROWS = {
+    "10.2": {"turing": "PTX", "ampere": "-", "hopper": "-"},
+    "11.7": {"turing": "cuBIN", "ampere": "PTX", "hopper": "-"},
+    "12.0": {"turing": "cuBIN", "ampere": "cuBIN", "hopper": "PTX"},
+}
+
+
+def _matrix():
+    module = build_module(blas.all_kernels())
+    measured = {}
+    for version in PAPER_ROWS:
+        fatbin = build_fatbin(module, "libprobe", version)
+        row = {arch: "-" for arch in ARCHITECTURES}
+        for kind, arch in describe(fatbin):
+            row[arch] = "PTX" if kind == "ptx" else "cuBIN"
+        measured[version] = row
+    return measured
+
+
+def test_table1_fatbin_matrix(once):
+    measured = once(_matrix)
+    print_table(
+        "Table 1: kernel code in CUDA-accelerated libs",
+        ["CUDA version", "Turing (7.5)", "Ampere (8.x)", "Hopper (9.0)"],
+        [
+            [version, row["turing"], row["ampere"], row["hopper"]]
+            for version, row in measured.items()
+        ],
+    )
+    assert measured == PAPER_ROWS
+
+
+def test_table1_shipping_library_matches(once):
+    """Our cuBLAS ships as a CUDA 11.7 artifact: Turing cuBIN + Ampere
+    PTX — the configuration the paper's servers run."""
+    def inventory():
+        return describe(cublas_fatbin())
+
+    entries = once(inventory)
+    assert ("cubin", "turing") in entries
+    assert ("ptx", "ampere") in entries

@@ -1,0 +1,91 @@
+"""Table 5: CPU cycles of the intercepted kernel-launch path.
+
+Paper rows (cycles): lookup 557, augment 400, launch syscall ~9000 —
+Guardian adds ~957 per launch, ~10% of the launch call alone, ~3% of
+launch + kernel execution.
+"""
+
+import numpy as np
+
+from repro import FencingMode, GuardianSystem
+from repro.core.server import ServerCostModel
+from repro.driver.fatbin import build_fatbin
+
+from benchmarks.conftest import print_table
+from tests.conftest import saxpy_module
+
+
+def _measure_launch_path():
+    system = GuardianSystem(mode=FencingMode.BITWISE)
+    tenant = system.attach("app", 1 << 22)
+    handles = tenant.runtime.registerFatBinary(
+        build_fatbin(saxpy_module(), "lib", "11.7"))
+    buffer = tenant.runtime.cudaMalloc(4096)
+    tenant.runtime.cudaMemcpyH2D(
+        buffer + 2048, np.ones(64, dtype=np.float32).tobytes())
+
+    server = system.server
+    cycles_before = server.stats.cycles
+    launches = 100
+    for _ in range(launches):
+        tenant.runtime.cudaLaunchKernel(
+            handles["saxpy"], (1, 1, 1), (64, 1, 1),
+            [buffer, buffer + 2048, 1.0, 64])
+    per_launch = (server.stats.cycles - cycles_before) / launches
+    return per_launch, server.costs
+
+
+def test_table5_interception_cost(once):
+    per_launch, costs = once(_measure_launch_path)
+    print_table(
+        "Table 5: cycles per intercepted cudaLaunchKernel",
+        ["", "Lookup", "Augment params", "Launch syscall", "Total"],
+        [
+            ["Native", 0, 0, costs.launch_syscall, costs.launch_syscall],
+            ["Guardian", costs.lookup, costs.augment,
+             costs.launch_syscall, int(per_launch)],
+        ],
+    )
+    # Paper: lookup ~557, augment ~400 (sum ~957).
+    assert costs.lookup == 557
+    assert costs.augment == 400
+    guardian_added = per_launch - costs.launch_syscall
+    assert guardian_added == costs.lookup + costs.augment
+    # "our overhead without the kernel execution is 10% on average"
+    relative = guardian_added / costs.launch_syscall
+    assert 0.08 < relative < 0.13
+
+
+def test_table5_lookup_microbench(benchmark):
+    """Microbenchmark of the pointerToSymbol lookup itself (wall time
+    of the simulated operation; the modelled cost is the 557 cycles)."""
+    system = GuardianSystem()
+    tenant = system.attach("app", 1 << 22)
+    handles = tenant.runtime.registerFatBinary(
+        build_fatbin(saxpy_module(), "lib", "11.7"))
+    tenant_state = system.server._tenants["app"]
+    handle = handles["saxpy"]
+
+    result = benchmark(lambda: tenant_state.functions[handle])
+    assert result is not None
+
+
+def test_table5_memops_negligible(once):
+    """§6.6: 'our allocator does not imply overhead compared to native
+    CUDA, and the protection checks on transfers imply negligible
+    overhead' — check counts, not just prose."""
+    def measure():
+        system = GuardianSystem()
+        tenant = system.attach("app", 1 << 22)
+        server = system.server
+        buffers = [tenant.runtime.cudaMalloc(4096) for _ in range(20)]
+        before = server.stats.cycles
+        for buffer in buffers:
+            tenant.runtime.cudaMemcpyH2D(buffer, b"x" * 4096)
+        per_copy = (server.stats.cycles - before) / 20
+        return per_copy, server.costs
+
+    per_copy, costs = once(measure)
+    # The added check is a bounds compare on top of the driver copy.
+    added = per_copy - costs.driver.memcpy
+    assert added <= 2 * costs.transfer_check

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Dynamic partition resizing — the paper's future-work item, built.
+
+A tenant that declared too little memory grows its partition *in
+place*: the base address never changes, so every device pointer the
+tenant already holds stays valid; only the fence mask widens, and the
+very next kernel launch picks the new mask up from the bounds table.
+Growth absorbs the partition's buddy region, so it fails loudly when a
+neighbour tenant occupies it.
+
+Run:  python examples/dynamic_partitions.py
+"""
+
+import numpy as np
+
+from repro import GuardianSystem
+from repro.errors import AllocationError, PartitionError
+
+
+def show(system, app_id):
+    record = system.server.allocator.bounds.lookup(app_id)
+    print(f"  {app_id}: partition [{record.base:#x}, {record.end:#x}) "
+          f"size {record.size >> 20} MiB, mask {record.mask:#x}")
+
+
+def main():
+    system = GuardianSystem()
+    tenant = system.attach("trainer", max_bytes=1 << 20)
+    print("initial layout:")
+    show(system, "trainer")
+
+    pointer = tenant.runtime.cudaMalloc(4096)
+    tenant.runtime.cudaMemcpyH2D(
+        pointer, np.arange(1024, dtype=np.float32).tobytes())
+
+    print("\nallocating 3 MiB inside a 1 MiB partition:")
+    try:
+        tenant.runtime.cudaMalloc(3 << 20)
+    except AllocationError as oom:
+        print(f"  fails as expected: {oom}")
+
+    print("\ngrowing the partition to 4 MiB (in-place, buddy absorb):")
+    new_size = tenant.client.grow_partition(4 << 20)
+    show(system, "trainer")
+    print(f"  grow_partition returned {new_size >> 20} MiB")
+
+    big = tenant.runtime.cudaMalloc(3 << 20)
+    print(f"  3 MiB allocation now succeeds at {big:#x}")
+
+    survived = np.frombuffer(
+        tenant.runtime.cudaMemcpyD2H(pointer, 4096), dtype=np.float32)
+    print(f"  pre-growth pointer still valid: "
+          f"{np.array_equal(survived, np.arange(1024, dtype=np.float32))}")
+
+    print("\na neighbour tenant blocks further growth:")
+    system.attach("neighbour", max_bytes=4 << 20)
+    show(system, "neighbour")
+    try:
+        tenant.client.grow_partition(8 << 20)
+    except PartitionError as blocked:
+        print(f"  fails safely: {blocked}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Tour of the three bounds-checking modes (paper §4.4).
+
+Prints the actual patched PTX of a small kernel under bitwise fencing
+(the paper's Listing 2), modulo fencing and address checking, then
+measures each mode's end-to-end overhead on a LeNet training run —
+reproducing the Fig. 8 ordering: bitwise < modulo < checking.
+
+Run:  python examples/fencing_modes.py
+"""
+
+from repro.core.patcher import PTXPatcher
+from repro.core.policy import FencingMode
+from repro.ptx.builder import KernelBuilder, build_module
+from repro.ptx.emitter import emit_module
+from repro.sharing.standalone import run_standalone_suite
+from repro.sharing.workload_mixes import _ml_workload
+
+
+def sample_kernel():
+    """The paper's Listing 1: A[tid] = j."""
+    b = KernelBuilder("kernel", params=[("A", "u64"), ("j", "u32")])
+    array = b.load_param_ptr("A")
+    value = b.load_param("j", "u32")
+    tid = b.special("%tid.x")
+    b.st_global("u32", b.element_addr(array, tid, 4), value)
+    return b.build()
+
+
+def show_patched_ptx():
+    for mode in (FencingMode.BITWISE, FencingMode.MODULO,
+                 FencingMode.CHECKING):
+        patched, report = PTXPatcher(mode).patch_kernel(sample_kernel())
+        print(f"\n===== {mode.value} "
+              f"(+{report.extra_instructions} instructions, "
+              f"+{report.extra_params} params) =====")
+        print(emit_module(build_module([patched])))
+
+
+def measure_overheads():
+    print("\nmeasuring LeNet training under each mode "
+          "(sampled execution)...\n")
+    results = run_standalone_suite(
+        lambda: _ml_workload("lenet", epochs=1, seed=0,
+                             samples=16, batch=16),
+        max_blocks=4,
+    )
+    native = results["native"]
+    print(f"  {'config':10s} {'time':>10s} {'vs native':>10s}")
+    for config, seconds in results.items():
+        print(f"  {config:10s} {seconds * 1e3:9.3f}ms "
+              f"{seconds / native - 1:+9.1%}")
+    print("\npaper bands: noprot 3.7-10%, bitwise 5.9-12%, "
+          "modulo ~29%, checking ~70%")
+
+
+if __name__ == "__main__":
+    show_patched_ptx()
+    measure_overheads()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Two ML tenants train concurrently on one protected GPU.
+
+Alice trains LeNet on MNIST-like data while Bob trains the CIFAR-10
+CNN — both through the full Guardian stack (preloaded shim, IPC,
+partitioned memory, sandboxed kernels), exactly like the paper's
+Caffe/PyTorch co-location runs. Afterwards the shared timeline shows
+their kernels overlapping on different streams.
+
+Run:  python examples/multi_tenant_training.py
+"""
+
+from repro import GuardianSystem
+from repro.workloads.frameworks import LibraryBundle, evaluate, train
+from repro.workloads.frameworks.datasets import dataset_for
+from repro.workloads.frameworks.networks import MODEL_ZOO
+
+
+def main():
+    system = GuardianSystem()
+    tenants = {}
+    for app_id, model_name in (("alice", "lenet"), ("bob", "cifar10")):
+        tenant = system.attach(app_id, max_bytes=64 << 20)
+        libs = LibraryBundle.create(tenant.runtime)
+        model = MODEL_ZOO[model_name](libs)
+        data = dataset_for(model.input_shape, samples=24,
+                           seed=hash(app_id) % 100)
+        tenants[app_id] = (model, data)
+
+    print("training two tenants through Guardian "
+          "(bitwise fencing)...\n")
+    for app_id, (model, data) in tenants.items():
+        result = train(model, data, epochs=3, batch_size=8, lr=0.1)
+        accuracy = evaluate(model, data).accuracy
+        print(f"  {app_id:7s} {model.name:8s}  loss "
+              f"{result.first_loss:.3f} -> {result.final_loss:.3f}  "
+              f"accuracy {accuracy:.0%}")
+
+    timeline = system.synchronize()
+    server = system.server
+    print(f"\nshared-GPU summary")
+    print(f"  kernels launched (all tenants): "
+          f"{system.device.metrics.kernels_launched}")
+    print(f"  kernels patched offline:        "
+          f"{server.stats.kernels_patched}")
+    print(f"  transfers checked / rejected:   "
+          f"{server.stats.transfers_checked} / "
+          f"{server.stats.transfers_rejected}")
+    print(f"  context switches:               "
+          f"{timeline.context_switches} (spatial sharing)")
+    for app_id in tenants:
+        completion = timeline.completion_by_tag[app_id]
+        print(f"  {app_id:7s} finished at "
+              f"{system.device.spec.cycles_to_seconds(completion) * 1e3:.2f} ms"
+              f" (device time)")
+
+
+if __name__ == "__main__":
+    main()

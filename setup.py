@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has setuptools but no ``wheel`` package, so
+PEP 660 editable installs (which shell out to ``bdist_wheel``) fail.
+This shim lets ``pip install -e . --no-build-isolation --no-use-pep517``
+fall back to the classic ``setup.py develop`` path. All real metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

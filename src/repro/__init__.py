@@ -1,0 +1,107 @@
+"""Guardian (G-Safe) — safe GPU sharing in multi-tenant environments.
+
+A complete Python reproduction of *Guardian: Safe GPU Sharing in
+Multi-Tenant Environments* (MIDDLEWARE 2024; arXiv title "G-Safe").
+The package contains the paper's contribution (PTX-level bounds
+checking, partitioned memory, a trusted GPU server with transparent
+interception) **and** every substrate it needs: a PTX toolchain, a
+functional cycle-cost GPU simulator, CUDA driver/runtime layers,
+closed-source accelerated libraries, ML/Rodinia workloads and the
+multi-tenant deployment harness.
+
+Quickstart::
+
+    from repro import GuardianSystem
+
+    system = GuardianSystem()                   # device + server
+    tenant = system.attach("alice", 64 << 20)   # preloaded runtime
+    ptr = tenant.runtime.cudaMalloc(1024)
+    tenant.runtime.cudaMemcpyH2D(ptr, b"x" * 1024)
+
+See ``examples/quickstart.py`` for the full tour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.client import GuardianClient, preload_guardian
+from repro.core.policy import FencingMode
+from repro.core.server import GuardianServer
+from repro.gpu.device import Device
+from repro.gpu.specs import (
+    DeviceSpec,
+    GEFORCE_RTX_3080TI,
+    QUADRO_RTX_A4000,
+)
+from repro.runtime.api import CudaRuntime
+from repro.runtime.interpose import DynamicLoader
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CudaRuntime",
+    "Device",
+    "DeviceSpec",
+    "FencingMode",
+    "GEFORCE_RTX_3080TI",
+    "GuardianClient",
+    "GuardianServer",
+    "GuardianSystem",
+    "GuardianTenant",
+    "QUADRO_RTX_A4000",
+    "preload_guardian",
+]
+
+
+@dataclass
+class GuardianTenant:
+    """One attached application: its shim, loader and runtime."""
+
+    app_id: str
+    client: GuardianClient
+    loader: DynamicLoader
+    runtime: CudaRuntime
+
+
+class GuardianSystem:
+    """Convenience facade: one simulated GPU plus a GuardianServer.
+
+    The high-level entry point for examples and downstream users; all
+    the pieces stay accessible (``system.device``, ``system.server``)
+    for anything the facade doesn't cover.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec = QUADRO_RTX_A4000,
+        mode: FencingMode = FencingMode.BITWISE,
+        standalone_native: bool = False,
+    ):
+        self.device = Device(spec)
+        self.server = GuardianServer(
+            self.device, mode=mode, standalone_native=standalone_native
+        )
+        self.tenants: dict[str, GuardianTenant] = {}
+
+    def attach(self, app_id: str, max_bytes: int) -> GuardianTenant:
+        """Attach a tenant: partition, preloaded shim, CUDA runtime."""
+        loader = DynamicLoader()
+        client = preload_guardian(loader, self.server, app_id, max_bytes)
+        tenant = GuardianTenant(
+            app_id=app_id,
+            client=client,
+            loader=loader,
+            runtime=CudaRuntime(loader),
+        )
+        self.tenants[app_id] = tenant
+        return tenant
+
+    def detach(self, app_id: str) -> None:
+        tenant = self.tenants.pop(app_id, None)
+        if tenant is not None:
+            tenant.client.close()
+
+    def synchronize(self):
+        """Resolve all pending device timing (spatial sharing)."""
+        return self.device.synchronize(spatial=True)

@@ -1,0 +1,12 @@
+"""Measurement and reporting utilities.
+
+:mod:`repro.analysis.metrics` is the Nsight/rdtsc stand-in — it
+collects per-kernel cycle counts, cache hit ratios and call latencies
+from the simulator; :mod:`repro.analysis.reporting` renders the
+paper-style text tables the benchmark harness prints.
+"""
+
+from repro.analysis.metrics import KernelProfile, Profiler
+from repro.analysis.reporting import render_table
+
+__all__ = ["KernelProfile", "Profiler", "render_table"]

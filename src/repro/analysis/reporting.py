@@ -1,0 +1,116 @@
+"""Text rendering of paper-style tables.
+
+The benchmark harness prints the same rows the paper's tables and
+figure captions report; these helpers keep that output uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.gpu.specs import ALL_SPECS
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Monospace table with column sizing."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[index]) for row in cells))
+        if cells else len(str(header))
+        for index, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(value.ljust(w) for value, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_spec_table() -> str:
+    """The paper's Table 2 for our simulated devices."""
+    fields = [
+        ("Compute Capability", lambda s: s.compute_capability),
+        ("#SMs", lambda s: s.num_sms),
+        ("#CUDA cores", lambda s: s.cuda_cores),
+        ("L1 (KB)", lambda s: s.l1_kb),
+        ("L2 (KB)", lambda s: s.l2_kb),
+        ("Global memory (GB)", lambda s: s.global_memory_bytes >> 30),
+        ("#Registers / Thread", lambda s: s.registers_per_thread),
+        ("PCIe", lambda s: s.pcie),
+        ("L1 hit latency (cycles)", lambda s: s.l1_hit_cycles),
+        ("L2 hit latency (cycles)", lambda s: s.l2_hit_cycles),
+        ("Global memory BW (GB/s)", lambda s: s.global_bw_gbps),
+        ("ECC", lambda s: "Yes" if s.ecc else "No"),
+    ]
+    specs = list(ALL_SPECS.values())
+    rows = [
+        [label] + [extract(spec) for spec in specs]
+        for label, extract in fields
+    ]
+    return render_table(
+        ["Specifications"] + [spec.name for spec in specs], rows,
+        title="Table 2: GPU specifications",
+    )
+
+
+#: The qualitative comparison of the paper's Table 6. Guardian is the
+#: only row with every property — the claim the feature-matrix
+#: benchmark asserts structurally.
+FEATURE_MATRIX: dict[str, dict[str, bool]] = {
+    "Time-sharing": {
+        "no_src_mod": True, "cuda_lib_support": True,
+        "no_extra_hw": True, "spatial_sharing": False,
+    },
+    "MASK": {
+        "no_src_mod": True, "cuda_lib_support": True,
+        "no_extra_hw": False, "spatial_sharing": True,
+    },
+    "MIG": {
+        "no_src_mod": True, "cuda_lib_support": True,
+        "no_extra_hw": False, "spatial_sharing": True,
+    },
+    "G-NET": {
+        "no_src_mod": False, "cuda_lib_support": False,
+        "no_extra_hw": True, "spatial_sharing": True,
+    },
+    "Guardian": {
+        "no_src_mod": True, "cuda_lib_support": True,
+        "no_extra_hw": True, "spatial_sharing": True,
+    },
+}
+
+
+def render_feature_matrix() -> str:
+    headers = ["Approach", "No src code mod.", "CUDA lib support",
+               "No extra/special HW", "Spatial sharing"]
+    rows = []
+    for name, features in FEATURE_MATRIX.items():
+        rows.append([
+            name,
+            "yes" if features["no_src_mod"] else "-",
+            "yes" if features["cuda_lib_support"] else "-",
+            "yes" if features["no_extra_hw"] else "-",
+            "yes" if features["spatial_sharing"] else "-",
+        ])
+    return render_table(headers, rows,
+                        title="Table 6: protected GPU sharing approaches")
+
+
+def percent(value: float) -> str:
+    return f"{value * 100:.1f}%"
+
+
+def overhead_vs(base: float, measured: float) -> float:
+    """Relative overhead of ``measured`` against ``base``."""
+    if base <= 0:
+        return 0.0
+    return measured / base - 1.0

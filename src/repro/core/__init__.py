@@ -1,0 +1,42 @@
+"""Guardian core — the paper's contribution.
+
+Three cooperating mechanisms provide memory-safe spatial GPU sharing
+(paper Fig. 3):
+
+1. the preloaded client library (:mod:`repro.core.client`) intercepts
+   every CUDA runtime/driver call and forwards it over IPC
+   (:mod:`repro.core.ipc`) to the trusted server;
+2. the GuardianServer (:mod:`repro.core.server`) owns the single GPU
+   context, partitions device memory per tenant
+   (:mod:`repro.core.allocator`, :mod:`repro.core.bounds_table`),
+   range-checks every host-initiated transfer, and launches *sandboxed*
+   kernels on per-tenant streams;
+3. the offline PTX patcher (:mod:`repro.core.patcher`) instruments
+   every load/store of every kernel — extracted from fatbins with
+   ``cuobjdump`` — with one of three bounds-enforcement schemes
+   (:mod:`repro.core.policy`), whose address math lives in
+   :mod:`repro.core.masks`.
+"""
+
+from repro.core.allocator import GuardianAllocator, Partition
+from repro.core.bounds_table import PartitionBoundsTable, PartitionRecord
+from repro.core.client import GuardianClient, preload_guardian
+from repro.core.masks import fence_address, partition_mask
+from repro.core.patcher import PatchReport, PTXPatcher
+from repro.core.policy import FencingMode
+from repro.core.server import GuardianServer
+
+__all__ = [
+    "FencingMode",
+    "GuardianAllocator",
+    "GuardianClient",
+    "GuardianServer",
+    "Partition",
+    "PartitionBoundsTable",
+    "PartitionRecord",
+    "PatchReport",
+    "PTXPatcher",
+    "fence_address",
+    "partition_mask",
+    "preload_guardian",
+]

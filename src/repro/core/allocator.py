@@ -1,0 +1,254 @@
+"""Guardian's custom GPU memory allocator (paper §4.2.1).
+
+At server start the allocator *reserves all device memory* and carves
+it into contiguous per-tenant partitions:
+
+- partitions are **power-of-two sized and size-aligned** so the
+  two-instruction bitwise fence is valid (the paper optimises for the
+  common case — PyTorch's and TensorFlow's own caching allocators are
+  power-of-two anyway);
+- within a partition, ``cudaMalloc``/``cudaFree`` are served by a
+  conventional first-fit allocator, so *the tenant sees an ordinary
+  CUDA allocator* and no per-allocation metadata is needed — only the
+  partition (base, size) pair, which fits in two registers.
+
+Tenants must declare their maximum memory up front (static
+partitioning, the paper's stated limitation; resizing is future work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError, PartitionError
+from repro.core import masks
+from repro.core.bounds_table import PartitionBoundsTable, PartitionRecord
+from repro.gpu.allocator import FirstFitAllocator
+
+
+@dataclass
+class Partition:
+    """One tenant's contiguous block plus its in-partition allocator."""
+
+    record: PartitionRecord
+    heap: FirstFitAllocator
+
+    @property
+    def app_id(self) -> str:
+        return self.record.app_id
+
+    @property
+    def base(self) -> int:
+        return self.record.base
+
+    @property
+    def size(self) -> int:
+        return self.record.size
+
+    def malloc(self, size: int) -> int:
+        try:
+            return self.heap.allocate(size)
+        except AllocationError as exc:
+            raise AllocationError(
+                f"tenant {self.app_id!r}: {exc} (partition of "
+                f"{self.size} bytes)"
+            ) from exc
+
+    def free(self, address: int) -> None:
+        self.heap.free(address)
+
+
+@dataclass
+class _Gap:
+    start: int
+    size: int
+
+
+class GuardianAllocator:
+    """Reserves the whole GPU and hands out aligned partitions."""
+
+    def __init__(self, base: int, total_bytes: int,
+                 require_power_of_two: bool = True):
+        self.base = base
+        self.total_bytes = total_bytes
+        self.require_power_of_two = require_power_of_two
+        self.bounds = PartitionBoundsTable()
+        self._partitions: dict[str, Partition] = {}
+        self._gaps: list[_Gap] = [_Gap(base, total_bytes)]
+
+    # -- partition lifecycle -----------------------------------------------------
+
+    def create_partition(self, app_id: str, max_bytes: int) -> Partition:
+        """Carve out a partition for a new tenant.
+
+        ``max_bytes`` is the tenant's declared maximum; it is rounded
+        up to the next power of two (bitwise-fencing requirement).
+        """
+        if app_id in self._partitions:
+            raise PartitionError(f"app {app_id!r} already has a partition")
+        if max_bytes <= 0:
+            raise PartitionError(f"bad partition request: {max_bytes} bytes")
+        size = (
+            masks.next_power_of_two(max_bytes)
+            if self.require_power_of_two
+            else max_bytes
+        )
+        start = self._take_aligned(size)
+        record = self.bounds.register(app_id, start, size)
+        partition = Partition(
+            record=record,
+            heap=FirstFitAllocator(start, size),
+        )
+        self._partitions[app_id] = partition
+        return partition
+
+    def grow_partition(self, app_id: str, new_max_bytes: int) -> Partition:
+        """Grow a tenant's partition in place (the paper's future-work
+        item, §4.2.1, implemented for the buddy case).
+
+        Growth doubles the partition until it covers
+        ``new_max_bytes``. Because partitions are size-aligned, a
+        partition can absorb exactly its *buddy* region (the block of
+        equal size immediately above it) — and doing so keeps the base
+        address unchanged, so every pointer the tenant already holds
+        stays valid and only the mask widens. If a buddy region is
+        occupied by another tenant, growth fails with
+        :class:`PartitionError` (migration would invalidate tenant
+        pointers, which Guardian cannot do transparently).
+        """
+        old = self.partition(app_id)
+        if new_max_bytes <= old.size:
+            return old
+        target = (
+            masks.next_power_of_two(new_max_bytes)
+            if self.require_power_of_two
+            else new_max_bytes
+        )
+        size = old.size
+        base = old.base
+        while size < target:
+            if base % (2 * size) != 0:
+                raise PartitionError(
+                    f"partition of {app_id!r} at {base:#x} is the high "
+                    f"buddy of its pair; in-place growth impossible"
+                )
+            if not self._take_exact(base + size, size):
+                raise PartitionError(
+                    f"buddy region [{base + size:#x}, "
+                    f"{base + 2 * size:#x}) is not free; cannot grow "
+                    f"{app_id!r} without migrating it"
+                )
+            size *= 2
+
+        self.bounds.remove(app_id)
+        record = self.bounds.register(app_id, base, size)
+        grown = Partition(record=record, heap=old.heap)
+        # Hand the absorbed space to the tenant's heap as free blocks.
+        grown.heap.extend(size - old.size)
+        self._partitions[app_id] = grown
+        return grown
+
+    def _take_exact(self, start: int, size: int) -> bool:
+        """Claim exactly [start, start+size) from the gap list."""
+        for index, gap in enumerate(self._gaps):
+            if gap.start <= start and start + size <= gap.start + gap.size:
+                del self._gaps[index]
+                if gap.start < start:
+                    self._insert_gap(_Gap(gap.start, start - gap.start))
+                tail = gap.start + gap.size - (start + size)
+                if tail:
+                    self._insert_gap(_Gap(start + size, tail))
+                return True
+        return False
+
+    def release_partition(self, app_id: str) -> None:
+        partition = self._partitions.pop(app_id, None)
+        if partition is None:
+            return
+        self.bounds.remove(app_id)
+        self._insert_gap(_Gap(partition.base, partition.size))
+
+    def partition(self, app_id: str) -> Partition:
+        try:
+            return self._partitions[app_id]
+        except KeyError:
+            raise PartitionError(
+                f"app {app_id!r} has no partition"
+            ) from None
+
+    def partitions(self) -> list[Partition]:
+        return list(self._partitions.values())
+
+    @property
+    def bytes_partitioned(self) -> int:
+        return sum(p.size for p in self._partitions.values())
+
+    @property
+    def bytes_unpartitioned(self) -> int:
+        return sum(gap.size for gap in self._gaps)
+
+    # -- tenant-facing allocation --------------------------------------------------
+
+    def malloc(self, app_id: str, size: int) -> int:
+        """Serve a tenant's cudaMalloc from its own partition."""
+        return self.partition(app_id).malloc(size)
+
+    def free(self, app_id: str, address: int) -> None:
+        """Serve a tenant's cudaFree (ownership-checked)."""
+        partition = self.partition(app_id)
+        if not partition.record.contains(address):
+            raise AllocationError(
+                f"tenant {app_id!r} freeing 0x{address:x} outside its "
+                f"partition"
+            )
+        partition.free(address)
+
+    # -- size-aligned carving ---------------------------------------------------------
+
+    def _take_aligned(self, size: int) -> int:
+        """First-fit over the gap list, honouring size-alignment.
+
+        Alignment waste before the chosen block stays in the gap list
+        and remains usable by smaller partitions.
+        """
+        if self.require_power_of_two:
+            align = size
+        else:
+            align = masks.next_power_of_two(min(size, 1 << 20))
+        for index, gap in enumerate(self._gaps):
+            aligned = -(-gap.start // align) * align
+            waste = aligned - gap.start
+            if gap.size - waste >= size:
+                remainder_start = aligned + size
+                remainder_size = gap.start + gap.size - remainder_start
+                del self._gaps[index]
+                if waste:
+                    self._insert_gap(_Gap(gap.start, waste))
+                if remainder_size:
+                    self._insert_gap(_Gap(remainder_start, remainder_size))
+                return aligned
+        raise PartitionError(
+            f"cannot carve a {size}-byte aligned partition "
+            f"({self.bytes_unpartitioned} bytes unpartitioned, "
+            f"fragmented over {len(self._gaps)} gaps)"
+        )
+
+    def _insert_gap(self, gap: _Gap) -> None:
+        position = 0
+        while (
+            position < len(self._gaps)
+            and self._gaps[position].start < gap.start
+        ):
+            position += 1
+        self._gaps.insert(position, gap)
+        # Coalesce with neighbours.
+        merged = True
+        while merged:
+            merged = False
+            for index in range(len(self._gaps) - 1):
+                current, following = self._gaps[index], self._gaps[index + 1]
+                if current.start + current.size == following.start:
+                    current.size += following.size
+                    del self._gaps[index + 1]
+                    merged = True
+                    break

@@ -1,0 +1,106 @@
+"""The partition bounds table (paper §4.2.1).
+
+For each application the server stores the application id, the
+partition base address and the partition size; derived values (mask,
+end, division magic) are precomputed here so a kernel launch only does
+one dictionary lookup. The table is consulted
+
+- on every data transfer, to verify source/destination ranges
+  (§4.2.2), and
+- on every kernel launch, to fetch the extra sandbox parameters
+  (§4.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PartitionError
+from repro.core import masks
+from repro.core.policy import FencingMode
+
+
+@dataclass(frozen=True)
+class PartitionRecord:
+    """One row of the bounds table."""
+
+    app_id: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the partition."""
+        return self.base + self.size
+
+    @property
+    def mask(self) -> int:
+        return masks.partition_mask(self.size)
+
+    @property
+    def magic(self) -> int:
+        return masks.division_magic(self.size)
+
+    def contains(self, address: int, length: int = 1) -> bool:
+        """Is [address, address+length) entirely inside the partition?"""
+        return (
+            self.base <= address
+            and length >= 0
+            and address + length <= self.end
+        )
+
+    def extra_param_values(self, mode: FencingMode) -> list[int]:
+        """The values for ``mode``'s extra kernel parameters, in the
+        order :meth:`FencingMode.extra_params` declares them."""
+        if mode is FencingMode.NONE:
+            return []
+        if mode is FencingMode.BITWISE:
+            return [self.base, self.mask]
+        if mode is FencingMode.MODULO:
+            return [self.base, self.size, self.magic]
+        return [self.base, self.end]
+
+
+class PartitionBoundsTable:
+    """app id -> partition record, with range validation."""
+
+    def __init__(self):
+        self._records: dict[str, PartitionRecord] = {}
+
+    def register(self, app_id: str, base: int, size: int) -> PartitionRecord:
+        if app_id in self._records:
+            raise PartitionError(f"app {app_id!r} already has a partition")
+        # Size-alignment is a bitwise-fencing requirement; partitions
+        # of arbitrary size (modulo/checking modes) skip it.
+        if masks.is_power_of_two(size):
+            masks.check_alignment(base, size)
+        record = PartitionRecord(app_id=app_id, base=base, size=size)
+        self._records[app_id] = record
+        return record
+
+    def remove(self, app_id: str) -> None:
+        self._records.pop(app_id, None)
+
+    def lookup(self, app_id: str) -> PartitionRecord:
+        try:
+            return self._records[app_id]
+        except KeyError:
+            raise PartitionError(
+                f"app {app_id!r} has no registered partition"
+            ) from None
+
+    def owner_of(self, address: int) -> str | None:
+        """Which tenant owns ``address`` (diagnostics only)."""
+        for record in self._records.values():
+            if record.contains(address):
+                return record.app_id
+        return None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, app_id: str) -> bool:
+        return app_id in self._records
+
+    def records(self) -> list[PartitionRecord]:
+        return list(self._records.values())

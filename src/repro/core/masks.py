@@ -1,0 +1,95 @@
+"""Partition mask arithmetic — the math of the paper's Fig. 5.
+
+A partition is a contiguous, power-of-two sized, size-aligned block of
+device memory. Its *mask* is ``size - 1`` (the low bits that vary
+inside the partition). Fencing an address is two bitwise operations::
+
+    fenced = (address & mask) | base
+
+For any address, the result lies inside the partition; for an address
+already inside, the result is the address itself. That is the whole
+trick: out-of-partition accesses *wrap around* into the offender's own
+partition (possibly corrupting the offender's data — never a
+neighbour's), at a cost of ~8 cycles.
+
+The paper's example: partition at ``0x7fa2d0000000`` of 16 MB has end
+``0x7fa2d0ffffff`` and mask ``0x000000ffffff``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PartitionError
+
+#: Address width of the device address space.
+ADDRESS_BITS = 64
+_ADDRESS_MASK = (1 << ADDRESS_BITS) - 1
+
+
+def is_power_of_two(value: int) -> bool:
+    """True for 1, 2, 4, 8, ..."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two >= value."""
+    if value <= 1:
+        return 1
+    return 1 << (value - 1).bit_length()
+
+
+def partition_mask(size: int) -> int:
+    """The bitwise-AND mask of a partition of ``size`` bytes."""
+    if not is_power_of_two(size):
+        raise PartitionError(
+            f"bitwise fencing requires a power-of-two partition, "
+            f"got {size:#x}"
+        )
+    return size - 1
+
+
+def check_alignment(base: int, size: int) -> None:
+    """A partition must be aligned to its own size for the OR with the
+    base to be correct (the base contributes only high bits)."""
+    if base & partition_mask(size):
+        raise PartitionError(
+            f"partition base {base:#x} is not aligned to its size "
+            f"{size:#x}"
+        )
+
+
+def fence_address(address: int, base: int, mask: int) -> int:
+    """Address fencing with bitwise operations (the paper's Listing 2).
+
+    Exactly what the two patched-in instructions compute::
+
+        and.b64  %addr, %addr, %mask
+        or.b64   %addr, %addr, %base
+    """
+    return ((address & _ADDRESS_MASK) & mask) | base
+
+
+def modulo_fence(address: int, base: int, size: int) -> int:
+    """Address fencing with modulo (works for any partition size)::
+
+        fenced = base + ((address - base) mod size)
+    """
+    return base + ((address - base) % size)
+
+
+def division_magic(size: int) -> int:
+    """The ``1/partition_size`` fixed-point reciprocal parameter.
+
+    The paper's inline 64-bit modulo avoids the division function call
+    by passing this precomputed magic: ``floor(2^64 / size)``. The
+    patched code computes ``q = mulhi(t, magic) ~= t / size`` and a
+    single conditional correction fixes the off-by-one.
+    """
+    if size <= 0:
+        raise PartitionError(f"bad partition size {size}")
+    return (1 << 64) // size
+
+
+def in_bounds(address: int, width: int, base: int, size: int) -> bool:
+    """Address-checking predicate: does [address, address+width) fall
+    inside [base, base+size)? (What the conditional checks verify.)"""
+    return base <= address and address + width <= base + size

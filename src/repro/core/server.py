@@ -1,0 +1,388 @@
+"""The GuardianServer — the trusted process with exclusive GPU access.
+
+The server (the paper's *gSafeServer*, §4.2):
+
+- creates the **single GPU context** all tenants share, with
+  ``CUDA_FORCE_PTX_JIT`` set so embedded cuBINs can never bypass the
+  patched PTX;
+- reserves all device memory and partitions it
+  (:class:`~repro.core.allocator.GuardianAllocator`);
+- range-checks every host-initiated transfer against the partition
+  bounds table (§4.2.2): H2D checks the destination, D2H the source,
+  D2D both; violations are *fenced* — rejected before reaching the
+  device;
+- for every deployed binary, extracts the PTX (``cuobjdump``), patches
+  it offline, loads **both** the sandboxed and the native module, and
+  records the ``pointerToSymbol`` map from client kernel handles to
+  ``CUfunction`` handles (§4.2.3);
+- on each launch, looks up the sandboxed function (~557 cycles),
+  augments the parameter array with the partition's mask/base (~400
+  cycles), and issues it on the tenant's stream — or issues the
+  *native* kernel when the tenant runs standalone and
+  ``standalone_native`` is enabled (§4.2.3);
+- gives each tenant its own CUDA stream, so different tenants' kernels
+  execute concurrently (spatial sharing, §4.2.4).
+
+Every public handler returns ``(result, server_cycles)`` — the
+:class:`~repro.core.ipc.IPCChannel` charges the cycles back onto the
+calling tenant's critical path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import (
+    BoundsViolation,
+    ExecutionError,
+    GuardianError,
+    LaunchError,
+)
+from repro.core.allocator import GuardianAllocator
+from repro.core.patcher import PatchReport, PTXPatcher
+from repro.core.policy import FencingMode
+from repro.driver.api import DriverAPI
+from repro.driver.fatbin import FatBinary, cuobjdump
+from repro.gpu.device import Device
+from repro.gpu.stream import Stream
+from repro.runtime.backend import CPU_GHZ, DriverCostModel
+
+
+@dataclass(frozen=True)
+class ServerCostModel:
+    """Server-side CPU cycles per operation (the paper's Table 5).
+
+    ``lookup`` is the pointerToSymbol search (measured 214-900, avg
+    ~557); ``augment`` is allocating and filling the extended parameter
+    array (300-600, avg ~400); ``launch_syscall`` is the native
+    ``cuLaunchKernel`` the server finally issues (~9000).
+    """
+
+    lookup: int = 557
+    augment: int = 400
+    launch_syscall: int = 9_000
+    transfer_check: int = 120
+    malloc: int = 350
+    free: int = 300
+    dispatch: int = 80
+    #: The ordinary driver work the server performs on behalf of the
+    #: tenant (same costs the native backend pays directly).
+    driver: DriverCostModel = DriverCostModel()
+
+
+@dataclass
+class ServerStats:
+    """Aggregate counters across all tenants."""
+
+    launches: int = 0
+    native_launches: int = 0
+    transfers_checked: int = 0
+    transfers_rejected: int = 0
+    cycles: float = 0.0
+    kernels_patched: int = 0
+    modules_loaded: int = 0
+    kernels_killed: int = 0
+
+
+@dataclass
+class _Tenant:
+    app_id: str
+    stream: Stream
+    #: client handle -> (sandboxed CUfunction, native CUfunction)
+    functions: dict[int, tuple] = field(default_factory=dict)
+    handle_counter: "itertools.count" = field(
+        default_factory=lambda: itertools.count(0x4000)
+    )
+    patch_reports: list[PatchReport] = field(default_factory=list)
+
+
+class GuardianServer:
+    """The trusted GPU manager process."""
+
+    def __init__(
+        self,
+        device: Device,
+        mode: FencingMode = FencingMode.BITWISE,
+        costs: Optional[ServerCostModel] = None,
+        standalone_native: bool = False,
+    ):
+        self.device = device
+        self.mode = mode
+        self.costs = costs or ServerCostModel()
+        self.standalone_native = standalone_native
+        self.stats = ServerStats()
+        self._clock_ratio = device.spec.clock_ghz / CPU_GHZ
+        # The server's driver: single context, PTX JIT forced so the
+        # patched PTX always wins over embedded cuBINs.
+        self.driver = DriverAPI(device, force_ptx_jit=True)
+        self.context = self.driver.cuCtxCreate("guardian-server")
+        # Reserve *all* remaining device memory for partitioning.
+        reserve = device.allocator.bytes_free
+        base = device.allocator.allocate(reserve)
+        self.context.allocations.add(base)
+        # Bitwise fencing needs power-of-two, size-aligned partitions;
+        # modulo and checking accept arbitrary sizes (§4.4) — which is
+        # exactly the capability their benchmarks exercise.
+        self.allocator = GuardianAllocator(
+            base, reserve,
+            require_power_of_two=mode.requires_power_of_two
+            or mode is FencingMode.NONE,
+        )
+        self.patcher = PTXPatcher(mode)
+        self._tenants: dict[str, _Tenant] = {}
+
+    # -- tenant lifecycle (not IPC-charged: happens once at attach) -----------
+
+    def attach(self, app_id: str, max_bytes: int):
+        """Register a tenant: carve its partition, create its stream."""
+        if app_id in self._tenants:
+            raise GuardianError(f"app {app_id!r} already attached")
+        self.allocator.create_partition(app_id, max_bytes)
+        tenant = _Tenant(
+            app_id=app_id,
+            stream=self.driver.cuStreamCreate(self.context),
+        )
+        self._tenants[app_id] = tenant
+        return None, self.costs.dispatch
+
+    def detach(self, app_id: str):
+        self._tenants.pop(app_id, None)
+        self.allocator.release_partition(app_id)
+        return None, self.costs.dispatch
+
+    def grow_partition(self, app_id: str, new_max_bytes: int):
+        """Dynamic partition resizing (the paper's future-work item).
+
+        In-place buddy growth: the tenant's base address — and with it
+        every pointer the tenant holds — is unchanged; only the mask
+        widens, which subsequent launches pick up automatically from
+        the refreshed bounds-table record.
+        """
+        self._tenant(app_id)  # must be attached
+        partition = self.allocator.grow_partition(app_id, new_max_bytes)
+        self._charge(self.costs.malloc)
+        return partition.size, self.costs.malloc
+
+    @property
+    def tenant_count(self) -> int:
+        return len(self._tenants)
+
+    def _tenant(self, app_id: str) -> _Tenant:
+        try:
+            return self._tenants[app_id]
+        except KeyError:
+            raise GuardianError(f"app {app_id!r} is not attached") from None
+
+    # -- memory management (served from the tenant's partition) ----------------
+
+    def malloc(self, app_id: str, size: int):
+        address = self.allocator.malloc(app_id, size)
+        cycles = self.costs.malloc + self.costs.driver.malloc
+        self._charge(cycles)
+        return address, cycles
+
+    def free(self, app_id: str, address: int):
+        self.allocator.free(app_id, address)
+        cycles = self.costs.free + self.costs.driver.free
+        self._charge(cycles)
+        return None, cycles
+
+    # -- checked transfers (§4.2.2) ----------------------------------------------
+
+    def memcpy_h2d(self, app_id: str, dst: int, data: bytes,
+                   stream_id: int = 0):
+        record = self.allocator.bounds.lookup(app_id)
+        self._check_range(app_id, record, dst, len(data), "H2D destination")
+        tenant = self._tenant(app_id)
+        self._charge(self.costs.driver.memcpy)
+        self.driver.cuMemcpyHtoD(tenant.stream, dst, data, tag=app_id,
+                                 release_cycles=self._release())
+        return None, self.costs.transfer_check + self.costs.driver.memcpy
+
+    def memcpy_d2h(self, app_id: str, src: int, size: int,
+                   stream_id: int = 0):
+        record = self.allocator.bounds.lookup(app_id)
+        self._check_range(app_id, record, src, size, "D2H source")
+        tenant = self._tenant(app_id)
+        self._charge(self.costs.driver.memcpy)
+        data = self.driver.cuMemcpyDtoH(tenant.stream, src, size, tag=app_id,
+                                        release_cycles=self._release())
+        return data, self.costs.transfer_check + self.costs.driver.memcpy
+
+    def memcpy_d2d(self, app_id: str, dst: int, src: int, size: int,
+                   stream_id: int = 0):
+        record = self.allocator.bounds.lookup(app_id)
+        self._check_range(app_id, record, src, size, "D2D source")
+        self._check_range(app_id, record, dst, size, "D2D destination")
+        tenant = self._tenant(app_id)
+        self._charge(self.costs.driver.memcpy)
+        self.driver.cuMemcpyDtoD(tenant.stream, dst, src, size, tag=app_id,
+                                 release_cycles=self._release())
+        return None, (2 * self.costs.transfer_check
+                      + self.costs.driver.memcpy)
+
+    def memset(self, app_id: str, dst: int, value: int, size: int,
+               stream_id: int = 0):
+        record = self.allocator.bounds.lookup(app_id)
+        self._check_range(app_id, record, dst, size, "memset destination")
+        tenant = self._tenant(app_id)
+        self._charge(self.costs.driver.memcpy)
+        self.driver.cuMemsetD8(tenant.stream, dst, value, size, tag=app_id,
+                               release_cycles=self._release())
+        return None, self.costs.transfer_check + self.costs.driver.memcpy
+
+    def _check_range(self, app_id: str, record, address: int, size: int,
+                     what: str) -> None:
+        self.stats.transfers_checked += 1
+        self._charge(self.costs.transfer_check)
+        if not record.contains(address, size):
+            self.stats.transfers_rejected += 1
+            raise BoundsViolation(app_id, address, size, detail=what)
+
+    # -- device code deployment (offline phase, §4.3) ------------------------------
+
+    def register_fatbin(self, app_id: str, fatbin: FatBinary):
+        """Extract, patch, and load a tenant binary's kernels.
+
+        Returns kernel-name -> client handle. Both the sandboxed and
+        the native variant are loaded so the server can pick per
+        launch.
+        """
+        tenant = self._tenant(app_id)
+        ptx_texts = cuobjdump(fatbin)
+        if not ptx_texts:
+            raise GuardianError(
+                f"fatbin {fatbin.name!r} carries no PTX; Guardian "
+                f"cannot sandbox cuBIN-only binaries"
+            )
+        handles: dict[str, int] = {}
+        for ptx_text in ptx_texts:
+            handles.update(self._load_ptx_pair(tenant, ptx_text))
+        return handles, self.costs.dispatch
+
+    def load_module_ptx(self, app_id: str, ptx_text: str):
+        """Explicit PTX load (the driver-API path some apps use)."""
+        tenant = self._tenant(app_id)
+        return self._load_ptx_pair(tenant, ptx_text), self.costs.dispatch
+
+    def _load_ptx_pair(self, tenant: _Tenant, ptx_text: str
+                       ) -> dict[str, int]:
+        partition = self.allocator.partition(tenant.app_id)
+
+        def allocate_in_partition(name: str, size: int) -> int:
+            return partition.malloc(size)
+
+        patched_text, reports = self.patcher.patch_text(ptx_text)
+        tenant.patch_reports.extend(reports)
+        self.stats.kernels_patched += sum(
+            1 for report in reports if report.is_entry
+        )
+        sandboxed = self.driver.cuModuleLoadData(
+            self.context, patched_text,
+            allocate_global=allocate_in_partition,
+        )
+        # The native variant shares the sandboxed module's .global
+        # arrays, so a tenant flipping between them keeps its statics.
+        native = self.driver.cuModuleLoadData(
+            self.context, ptx_text,
+            allocate_global=lambda name, size: (
+                sandboxed.global_addresses[name]
+            ),
+        )
+        self.stats.modules_loaded += 2
+
+        handles: dict[str, int] = {}
+        for name in sandboxed.kernel_names():
+            handle = next(tenant.handle_counter)
+            tenant.functions[handle] = (
+                self.driver.cuModuleGetFunction(sandboxed, name),
+                self.driver.cuModuleGetFunction(native, name),
+            )
+            handles[name] = handle
+        return handles
+
+    # -- kernel launch (§4.2.3) -------------------------------------------------------
+
+    def launch_kernel(self, app_id: str, handle: int,
+                      grid: tuple, block: tuple, params: list,
+                      stream_id: int = 0):
+        tenant = self._tenant(app_id)
+        # pointerToSymbol lookup.
+        cycles = self.costs.lookup
+        pair = tenant.functions.get(handle)
+        if pair is None:
+            raise LaunchError(
+                f"app {app_id!r}: unknown kernel handle {handle:#x}"
+            )
+        sandboxed, native = pair
+
+        use_native = (
+            self.standalone_native
+            and self.tenant_count == 1
+        ) or self.mode is FencingMode.NONE
+        if use_native:
+            function = native
+            launch_params = list(params)
+            self.stats.native_launches += 1
+        else:
+            # Augment the parameter array with this partition's
+            # fencing values (mask and base for bitwise, ...).
+            record = self.allocator.bounds.lookup(app_id)
+            launch_params = list(params) + record.extra_param_values(
+                self.mode
+            )
+            function = sandboxed
+            cycles += self.costs.augment
+
+        cycles += self.costs.launch_syscall
+        self.stats.launches += 1
+        self._charge(cycles)
+        try:
+            self.driver.cuLaunchKernel(
+                function, grid, block, launch_params, tenant.stream,
+                tag=app_id, release_cycles=self._release(),
+            )
+        except ExecutionError as failure:
+            # TReM-style revocation (§4.3, [53]): a runaway or faulting
+            # kernel is terminated and reported to its *own* tenant;
+            # other tenants' partitions and streams are untouched.
+            self.stats.kernels_killed += 1
+            raise GuardianError(
+                f"tenant {app_id!r}: kernel terminated by the server "
+                f"({failure})"
+            ) from failure
+        return None, cycles
+
+    # -- misc --------------------------------------------------------------------------
+
+    def create_stream(self, app_id: str):
+        """Per-tenant stream handle.
+
+        All of a tenant's work funnels through its single server
+        stream — the paper's in-order-per-application guarantee
+        (§4.2.4) — so extra client streams alias the same server
+        stream.
+        """
+        tenant = self._tenant(app_id)
+        return tenant.stream.stream_id, self.costs.dispatch
+
+    def synchronize(self, app_id: str):
+        return None, self.costs.dispatch
+
+    def get_spec(self, app_id: str):
+        return self.device.spec, self.costs.dispatch
+
+    def patch_reports(self, app_id: str) -> list[PatchReport]:
+        return self._tenant(app_id).patch_reports
+
+    def _charge(self, cycles: float) -> None:
+        self.stats.cycles += cycles
+
+    def _release(self) -> float:
+        """Device-clock instant at which the server finished issuing
+        the current operation. Because the server processes all
+        tenants' calls serially, these releases are monotone across
+        tenants — the server-bottleneck effect of §6.1."""
+        return self.stats.cycles * self._clock_ratio

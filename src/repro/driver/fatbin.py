@@ -1,0 +1,131 @@
+"""fatBIN containers and the ``cuobjdump`` extraction utility.
+
+``nvcc`` merges the PTX representation of device code and per-arch
+machine code (cuBIN) into a fatBIN embedded in the application or
+library binary. Which representations are present follows the CUDA
+version / GPU architecture matrix of the paper's Table 1 — e.g. a CUDA
+11.7 library ships cuBINs for Turing and PTX for Ampere (so Ampere and
+Hopper run via JIT).
+
+Guardian's offline phase uses ``cuobjdump`` to pull the PTX out of
+closed-source binaries; cuBIN entries are opaque (SASS) and *cannot*
+be recovered as PTX — which is why the paper relies on
+``CUDA_FORCE_PTX_JIT`` to make the driver ignore embedded cuBINs and
+JIT the (patched) PTX instead.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import DriverError
+from repro.ptx.ast import Module
+from repro.ptx.emitter import emit_module
+
+#: GPU architecture names in generation order with compute capability.
+ARCHITECTURES = {
+    "turing": "7.5",
+    "ampere": "8.6",
+    "hopper": "9.0",
+}
+
+_ARCH_ORDER = list(ARCHITECTURES)
+
+
+@dataclass(frozen=True)
+class FatbinEntry:
+    """One component of a fatBIN: PTX text or an opaque cuBIN."""
+
+    kind: str  # "ptx" | "cubin"
+    arch: str  # "turing" | "ampere" | "hopper"
+    payload: bytes
+
+    def ptx_text(self) -> str:
+        if self.kind != "ptx":
+            raise DriverError(
+                f"cuBIN entries are machine code; PTX cannot be "
+                f"recovered from a {self.arch} cuBIN"
+            )
+        return self.payload.decode("utf-8")
+
+
+@dataclass
+class FatBinary:
+    """A fatBIN: the device-code container embedded in a binary."""
+
+    name: str
+    entries: list[FatbinEntry] = field(default_factory=list)
+
+    def ptx_entries(self) -> list[FatbinEntry]:
+        return [entry for entry in self.entries if entry.kind == "ptx"]
+
+    def cubin_entries(self) -> list[FatbinEntry]:
+        return [entry for entry in self.entries if entry.kind == "cubin"]
+
+    def cubin_for(self, arch: str) -> FatbinEntry | None:
+        for entry in self.entries:
+            if entry.kind == "cubin" and entry.arch == arch:
+                return entry
+        return None
+
+
+def _cuda_version_tier(cuda_version: str) -> int:
+    """Map a CUDA version string onto the Table 1 rows (0, 1, 2)."""
+    major, minor = (int(part) for part in cuda_version.split(".")[:2])
+    if major <= 10:
+        return 0
+    if major == 11 and minor <= 7:
+        return 1
+    return 2
+
+
+def build_fatbin(module: Module, name: str,
+                 cuda_version: str = "11.7") -> FatBinary:
+    """Package a PTX module into a fatBIN per the Table 1 policy.
+
+    The newest architecture of the CUDA version gets PTX; every older
+    architecture gets an opaque cuBIN.
+    """
+    tier = _cuda_version_tier(cuda_version)
+    ptx_arch = _ARCH_ORDER[tier]
+    ptx_text = emit_module(module)
+    entries = [
+        FatbinEntry(
+            kind="cubin",
+            arch=_ARCH_ORDER[older],
+            payload=_make_cubin(ptx_text, _ARCH_ORDER[older]),
+        )
+        for older in range(tier)
+    ]
+    entries.append(
+        FatbinEntry(kind="ptx", arch=ptx_arch,
+                    payload=ptx_text.encode("utf-8"))
+    )
+    return FatBinary(name=name, entries=entries)
+
+
+def _make_cubin(ptx_text: str, arch: str) -> bytes:
+    """Produce an opaque machine-code blob for ``arch``.
+
+    The content is deliberately non-invertible from the toolchain's
+    perspective (a compressed, tagged blob) — extraction tools can see
+    *that* there is a cuBIN but cannot produce PTX from it.
+    """
+    header = f"CUBIN\x00{arch}\x00".encode("ascii")
+    return header + zlib.compress(ptx_text.encode("utf-8"), level=9)
+
+
+def cuobjdump(fatbin: FatBinary) -> list[str]:
+    """Extract every embedded PTX text from a fatBIN.
+
+    This is the tool the paper's offline PTX-patcher runs over
+    application executables and CUDA libraries (§4.3). cuBIN entries
+    are reported but not extractable as PTX.
+    """
+    return [entry.ptx_text() for entry in fatbin.ptx_entries()]
+
+
+def describe(fatbin: FatBinary) -> list[tuple[str, str]]:
+    """(kind, arch) inventory — what `cuobjdump -lptx -lelf` would list."""
+    return [(entry.kind, entry.arch) for entry in fatbin.entries]

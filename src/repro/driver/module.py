@@ -1,0 +1,65 @@
+"""``CUmodule`` and ``CUfunction`` handles.
+
+A CUmodule is a unit of loaded device code (from PTX or cuBIN); a
+CUfunction is an opaque handle to one kernel inside a module. The
+GuardianServer creates one CUmodule per patched PTX, then builds its
+``pointerToSymbol`` map from CUfunction handles (paper §4.2.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import DriverError
+from repro.driver.jit import CompiledModule
+from repro.gpu.executor import CompiledKernel
+
+_MODULE_IDS = itertools.count(1)
+_FUNCTION_IDS = itertools.count(0x1000)
+
+
+@dataclass
+class CUmodule:
+    """A loaded module inside one context."""
+
+    compiled: CompiledModule
+    context_id: int
+    module_id: int = field(default_factory=_MODULE_IDS.__next__)
+    #: Device addresses of the module's .global arrays.
+    global_addresses: dict[str, int] = field(default_factory=dict)
+    _functions: dict[str, "CUfunction"] = field(default_factory=dict)
+
+    def get_function(self, name: str) -> "CUfunction":
+        function = self._functions.get(name)
+        if function is None:
+            compiled = self.compiled.kernels.get(name)
+            if compiled is None or not compiled.kernel.is_entry:
+                raise DriverError(
+                    f"named symbol {name!r} not found in module "
+                    f"{self.module_id}"
+                )
+            function = CUfunction(module=self, name=name, compiled=compiled)
+            self._functions[name] = function
+        return function
+
+    def kernel_names(self) -> list[str]:
+        return [
+            name
+            for name, compiled in self.compiled.kernels.items()
+            if compiled.kernel.is_entry
+        ]
+
+
+@dataclass
+class CUfunction:
+    """Handle to one launchable kernel."""
+
+    module: CUmodule
+    name: str
+    compiled: CompiledKernel
+    handle: int = field(default_factory=_FUNCTION_IDS.__next__)
+
+    @property
+    def num_params(self) -> int:
+        return self.compiled.num_params

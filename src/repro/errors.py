@@ -1,0 +1,111 @@
+"""Exception hierarchy shared across the Guardian reproduction stack.
+
+Every layer of the stack (PTX toolchain, GPU simulator, driver, runtime,
+Guardian core) raises exceptions derived from :class:`ReproError` so that
+callers can catch layer-specific failures without masking programming
+errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class PTXError(ReproError):
+    """Base class for PTX toolchain errors."""
+
+
+class PTXParseError(PTXError):
+    """The PTX text could not be parsed.
+
+    Carries the 1-based source line number when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class PTXValidationError(PTXError):
+    """The PTX module parsed but is structurally invalid."""
+
+
+class GPUError(ReproError):
+    """Base class for GPU simulator errors."""
+
+
+class MemoryFault(GPUError):
+    """A kernel or transfer touched an unmapped or foreign address.
+
+    On real hardware this corresponds to an ``Xid`` error / sticky
+    context failure. The simulator raises it for accesses outside any
+    mapped region of the device address space.
+    """
+
+    def __init__(self, address: int, size: int = 1, kind: str = "access"):
+        self.address = address
+        self.size = size
+        self.kind = kind
+        super().__init__(
+            f"illegal {kind} of {size} byte(s) at 0x{address:x}"
+        )
+
+
+class ExecutionError(GPUError):
+    """A kernel failed while executing (bad opcode, missing register...)."""
+
+
+class LaunchError(GPUError):
+    """A kernel launch was rejected (bad configuration, unknown symbol)."""
+
+
+class DriverError(ReproError):
+    """CUDA driver API failure (cu* calls)."""
+
+
+class RuntimeAPIError(ReproError):
+    """CUDA runtime API failure (cuda* calls)."""
+
+
+class GuardianError(ReproError):
+    """Base class for Guardian core failures."""
+
+
+class PartitionError(GuardianError):
+    """Partition creation/resizing failed (capacity, alignment)."""
+
+
+class AllocationError(GuardianError):
+    """An allocation could not be satisfied inside a partition."""
+
+
+class BoundsViolation(GuardianError):
+    """A host-initiated transfer fell outside the tenant's partition.
+
+    Guardian *fences* such transfers: the operation is rejected before it
+    reaches the device.
+    """
+
+    def __init__(self, app_id: str, address: int, size: int, detail: str = ""):
+        self.app_id = app_id
+        self.address = address
+        self.size = size
+        msg = (
+            f"tenant {app_id!r}: transfer [0x{address:x}, "
+            f"0x{address + size:x}) outside its partition"
+        )
+        if detail:
+            msg = f"{msg} ({detail})"
+        super().__init__(msg)
+
+
+class PatcherError(GuardianError):
+    """The PTX patcher could not instrument a kernel."""
+
+
+class IPCError(GuardianError):
+    """The client/server channel failed (closed, protocol mismatch)."""

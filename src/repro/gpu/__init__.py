@@ -1,0 +1,27 @@
+"""GPU hardware simulator.
+
+The paper evaluates Guardian on two NVIDIA GPUs (RTX A4000 and RTX
+3080 Ti). The Python reproduction cannot drive real hardware, so this
+package provides the substitute: a functional, cycle-cost GPU model
+with
+
+- the published memory-hierarchy latencies (L1 28, L2 193, global
+  220-350 cycles — the paper's Table 2 / Fig. 6),
+- a set-associative L1/L2 cache simulation that yields realistic hit
+  ratios for the evaluation's cache-sensitivity experiment (Fig. 11),
+- a PTX interpreter executing kernels against *real* simulated memory,
+  so out-of-bounds accesses genuinely corrupt bytes,
+- register allocation with spill modelling (Fig. 10),
+- streams, contexts, context-switch costs, and an SM occupancy model
+  (leftover scheduling) used by the sharing experiments (Fig. 7).
+"""
+
+from repro.gpu.device import Device
+from repro.gpu.specs import DeviceSpec, GEFORCE_RTX_3080TI, QUADRO_RTX_A4000
+
+__all__ = [
+    "Device",
+    "DeviceSpec",
+    "GEFORCE_RTX_3080TI",
+    "QUADRO_RTX_A4000",
+]

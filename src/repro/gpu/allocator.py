@@ -1,0 +1,129 @@
+"""Generic first-fit free-list allocator over a device address range.
+
+Used in two places:
+
+- the driver's native ``cuMemAlloc`` path (what unmodified CUDA
+  applications get — arbitrary addresses anywhere in device memory,
+  which is exactly why co-tenants can collide, Fig. 2);
+- inside each Guardian partition, where the same mechanism hands out
+  sub-ranges of the tenant's contiguous block
+  (:mod:`repro.core.allocator`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AllocationError
+
+
+@dataclass
+class _FreeBlock:
+    start: int
+    size: int
+
+
+class FirstFitAllocator:
+    """First-fit allocation with coalescing free list.
+
+    Addresses returned are absolute (within [base, base+size)).
+    ``alignment`` applies to every allocation (CUDA guarantees 256-byte
+    alignment from ``cudaMalloc``).
+    """
+
+    def __init__(self, base: int, size: int, alignment: int = 256):
+        if size <= 0:
+            raise ValueError("allocator needs a positive size")
+        if alignment & (alignment - 1):
+            raise ValueError("alignment must be a power of two")
+        self.base = base
+        self.size = size
+        self.alignment = alignment
+        self._free: list[_FreeBlock] = [_FreeBlock(base, size)]
+        self._live: dict[int, int] = {}  # address -> size
+
+    @property
+    def bytes_in_use(self) -> int:
+        return sum(self._live.values())
+
+    @property
+    def bytes_free(self) -> int:
+        return self.size - self.bytes_in_use
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._live)
+
+    def allocate(self, size: int) -> int:
+        """Return the address of a block of at least ``size`` bytes."""
+        if size <= 0:
+            raise AllocationError(f"cannot allocate {size} bytes")
+        rounded = -(-size // self.alignment) * self.alignment
+        for index, block in enumerate(self._free):
+            if block.size >= rounded:
+                address = block.start
+                block.start += rounded
+                block.size -= rounded
+                if block.size == 0:
+                    del self._free[index]
+                self._live[address] = rounded
+                return address
+        raise AllocationError(
+            f"out of memory: {size} bytes requested, "
+            f"{self.bytes_free} free (fragmented across "
+            f"{len(self._free)} blocks)"
+        )
+
+    def extend(self, extra_bytes: int) -> None:
+        """Grow the managed range upward by ``extra_bytes``.
+
+        Used by Guardian's in-place partition growth: the new space is
+        contiguous with the old range, so it simply becomes one more
+        free block.
+        """
+        if extra_bytes <= 0:
+            raise ValueError(f"cannot extend by {extra_bytes} bytes")
+        self._insert(_FreeBlock(self.base + self.size, extra_bytes))
+        self.size += extra_bytes
+
+    def free(self, address: int) -> None:
+        """Release a previously allocated block (coalescing neighbours)."""
+        size = self._live.pop(address, None)
+        if size is None:
+            raise AllocationError(f"free of unallocated address 0x{address:x}")
+        self._insert(_FreeBlock(address, size))
+
+    def owns(self, address: int) -> bool:
+        """True when ``address`` is the start of a live allocation."""
+        return address in self._live
+
+    def allocation_size(self, address: int) -> int:
+        try:
+            return self._live[address]
+        except KeyError:
+            raise AllocationError(
+                f"0x{address:x} is not a live allocation"
+            ) from None
+
+    def _insert(self, block: _FreeBlock) -> None:
+        # Keep the free list address-ordered and coalesce.
+        position = 0
+        while (
+            position < len(self._free)
+            and self._free[position].start < block.start
+        ):
+            position += 1
+        self._free.insert(position, block)
+        self._coalesce(position)
+        if position > 0:
+            self._coalesce(position - 1)
+
+    def _coalesce(self, index: int) -> None:
+        while index + 1 < len(self._free):
+            current = self._free[index]
+            following = self._free[index + 1]
+            if current.start + current.size == following.start:
+                current.size += following.size
+                del self._free[index + 1]
+            else:
+                break

@@ -1,0 +1,87 @@
+"""Instruction cycle-cost model.
+
+Costs are the ones the paper reasons with (§4.4, Fig. 6):
+
+========================  ============  =====================================
+event                     cycles        source
+========================  ============  =====================================
+bitwise AND / OR          4             Arafa et al. [2] (paper Fig. 6)
+integer multiply / mad    5             same
+32-bit div / rem          28            paper §4.4 (inline modulo)
+64-bit div / rem (call)   56            paper §4.4 (2x the 32-bit cost)
+guarded (conditional)     36            so that a 2-comparison bounds check
+branch                                  costs the paper's ~80 cycles through
+                                        the Address Divergence Unit
+L1 hit                    28            Table 2
+L2 hit                    193           Table 2
+global memory             220-350       Table 2 (285 typical)
+========================  ============  =====================================
+
+The model separates *compute* cost (from the opcode's latency class)
+and *memory* cost (from the cache simulation), exactly the split the
+paper uses to argue fencing is cheap when kernels are memory bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.specs import DeviceSpec
+from repro.ptx import isa
+
+#: Conditional (guarded) control flow goes through the Address
+#: Divergence Unit; two setp+bra pairs must land near the paper's 80
+#: cycles for a full lower+upper bounds check: 2 * (4 + 36) = 80.
+GUARDED_BRANCH_CYCLES = 36
+
+#: Shared-memory access latency (on-chip, close to L1).
+SHARED_ACCESS_CYCLES = 20
+
+#: Store cost floor: stores retire through the write buffer; we charge
+#: the cache-model latency like loads (write-allocate), which keeps the
+#: fencing-overhead ratios the paper reports.
+
+
+@dataclass
+class CostModel:
+    """Resolves per-instruction cycle costs for one device."""
+
+    spec: DeviceSpec
+
+    def compute_cost(self, opcode: str, guarded: bool) -> int:
+        """Cycle cost of a non-memory instruction."""
+        info = isa.opcode_info(opcode)
+        if info.is_control and guarded:
+            return GUARDED_BRANCH_CYCLES
+        base = isa.LATENCY_CLASSES[info.latency_class]
+        if info.latency_class in ("div32",) and _is_64bit(opcode):
+            return isa.LATENCY_CLASSES["div64"]
+        return base
+
+    def memory_cost(self, level: str) -> int:
+        """Cycle cost of a load/store resolved at ``level``.
+
+        ``level`` is one of ``"l1"``, ``"l2"``, ``"global"``,
+        ``"shared"``, ``"param"``, ``"local"``.
+        """
+        if level == "l1":
+            return self.spec.l1_hit_cycles
+        if level == "l2":
+            return self.spec.l2_hit_cycles
+        if level == "global":
+            return self.spec.global_avg_cycles
+        if level == "shared":
+            return SHARED_ACCESS_CYCLES
+        if level == "param":
+            # Parameter space is backed by constant memory and is
+            # effectively always cached.
+            return self.spec.l1_hit_cycles // 4 or 1
+        if level == "local":
+            # Local memory (spills) lives in global DRAM but is heavily
+            # cached; charge an L2-class latency.
+            return self.spec.l2_hit_cycles
+        raise ValueError(f"unknown memory level {level!r}")
+
+
+def _is_64bit(opcode: str) -> bool:
+    return opcode.rsplit(".", 1)[-1] in ("u64", "s64", "b64", "f64")

@@ -1,0 +1,108 @@
+"""Device specifications (the paper's Table 2).
+
+Both evaluation GPUs are Ampere (compute capability 8.6). The latency
+figures come straight from the paper (which cites Jia et al. and Bari
+et al. for them) and drive the cycle-cost model everywhere else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one GPU model.
+
+    Attributes mirror the rows of the paper's Table 2, plus the handful
+    of micro-architectural constants the simulator needs (clock, cache
+    line size, warp width, SM occupancy).
+    """
+
+    name: str
+    compute_capability: str
+    num_sms: int
+    cuda_cores: int
+    l1_kb: int
+    l2_kb: int
+    global_memory_bytes: int
+    registers_per_thread: int
+    pcie: str
+    l1_hit_cycles: int
+    l2_hit_cycles: int
+    global_min_cycles: int
+    global_max_cycles: int
+    global_bw_gbps: float
+    ecc: bool
+    clock_ghz: float = 1.56
+    warp_size: int = 32
+    max_warps_per_sm: int = 48
+    cache_line_bytes: int = 128
+    #: PCIe v4 x16 effective host<->device bandwidth.
+    pcie_bw_gbps: float = 25.0
+    #: Cost of swapping a GPU context in/out (time sharing), in cycles.
+    #: Context switches flush the TLB and spill context state to DRAM;
+    #: measured costs are in the tens of microseconds.
+    context_switch_cycles: int = 60_000
+
+    @property
+    def global_avg_cycles(self) -> int:
+        """The 'typical' global-memory latency the paper quotes (285)."""
+        return (self.global_min_cycles + self.global_max_cycles) // 2
+
+    @property
+    def max_resident_warps(self) -> int:
+        """Upper bound on concurrently resident warps on the device."""
+        return self.num_sms * self.max_warps_per_sm
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / (self.clock_ghz * 1e9)
+
+
+#: The paper's primary evaluation GPU (server 1).
+QUADRO_RTX_A4000 = DeviceSpec(
+    name="Quadro RTX A4000",
+    compute_capability="8.6",
+    num_sms=48,
+    cuda_cores=6144,
+    l1_kb=128,
+    l2_kb=4096,
+    global_memory_bytes=16 * GIB,
+    registers_per_thread=255,
+    pcie="v4 x16",
+    l1_hit_cycles=28,
+    l2_hit_cycles=193,
+    global_min_cycles=220,
+    global_max_cycles=350,
+    global_bw_gbps=448.0,
+    ecc=True,
+)
+
+#: The second evaluation GPU (server 2, §6.5).
+GEFORCE_RTX_3080TI = DeviceSpec(
+    name="GeForce RTX 3080 Ti",
+    compute_capability="8.6",
+    num_sms=80,
+    cuda_cores=10240,
+    l1_kb=128,
+    l2_kb=6144,
+    global_memory_bytes=12 * GIB,
+    registers_per_thread=255,
+    pcie="v4 x16",
+    l1_hit_cycles=28,
+    l2_hit_cycles=193,
+    global_min_cycles=220,
+    global_max_cycles=350,
+    global_bw_gbps=912.0,
+    ecc=False,
+    clock_ghz=1.67,
+)
+
+#: All specs by name, for the reporting layer.
+ALL_SPECS = {
+    spec.name: spec for spec in (QUADRO_RTX_A4000, GEFORCE_RTX_3080TI)
+}

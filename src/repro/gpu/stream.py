@@ -1,0 +1,29 @@
+"""CUDA streams.
+
+A stream is a FIFO of device operations. Operations within one stream
+execute in submission order; operations in different streams of the
+same context may overlap — the property Guardian's server exploits to
+run different tenants' kernels concurrently (paper §4.2.4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_STREAM_IDS = itertools.count(1)
+
+
+@dataclass
+class Stream:
+    """One command stream, belonging to a context."""
+
+    context_id: int
+    stream_id: int = field(default_factory=_STREAM_IDS.__next__)
+    #: Sequence numbers of tasks submitted and not yet synchronised.
+    pending_tasks: int = 0
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """The (context, stream) pair used by the timeline simulator."""
+        return (self.context_id, self.stream_id)

@@ -1,0 +1,256 @@
+"""Discrete-event timing simulation of GPU work.
+
+The executor (:mod:`repro.gpu.executor`) produces, for each kernel, its
+total warp-cycle *work* and its parallelism *demand*. This module turns
+streams of such tasks into a timeline:
+
+- **Spatial sharing** (single context, the MPS/Guardian model): kernels
+  from different streams run concurrently, sharing the SM pool under
+  NVIDIA's *leftover* policy — earlier-arrived kernels take the
+  capacity they demand, later kernels get what is left (the policy the
+  paper states it uses, §5).
+- **Time sharing** (one context per application, the native model):
+  only one context's tasks run at a time; switching contexts costs
+  ``context_switch_cycles`` (TLB invalidation + state swap, §7.1).
+
+Host-to-device and device-to-host copies run on dedicated copy engines
+(one per direction, FIFO), overlapping kernels — as real GPUs do.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Task resource classes.
+RESOURCE_SM = "sm"
+RESOURCE_H2D = "h2d"
+RESOURCE_D2H = "d2h"
+
+
+@dataclass
+class GpuTask:
+    """One unit of device work (kernel or DMA copy)."""
+
+    kind: str                 # "kernel" | "h2d" | "d2h" | "d2d"
+    context_id: int
+    stream_key: tuple         # (context_id, stream_id)
+    work_cycles: float        # SM work (kernels) or transfer cycles (copies)
+    demand: int = 0           # parallelism demand (kernels only)
+    fixed_cycles: float = 0.0  # launch overhead etc., not shareable
+    tag: str = ""             # application id, for per-app completion
+    label: str = ""           # kernel name, for traces
+    #: Earliest start (device cycles): when the submitting host/server
+    #: finished processing the call. Models submission bubbles — a GPU
+    #: fed too slowly by its launch path idles between kernels, which
+    #: is exactly how interception overhead and the MPS-server
+    #: bottleneck surface on real systems.
+    release: float = 0.0
+    seq: int = field(default_factory=itertools.count().__next__)
+
+    @property
+    def resource(self) -> str:
+        if self.kind == "kernel":
+            return RESOURCE_SM
+        if self.kind == "h2d":
+            return RESOURCE_H2D
+        # d2h and d2d share the device-to-host engine slot in this model
+        return RESOURCE_D2H
+
+
+@dataclass
+class TimelineResult:
+    """Outcome of simulating a batch of tasks."""
+
+    makespan_cycles: float
+    completion_by_tag: dict[str, float]
+    start_by_tag: dict[str, float]
+    context_switches: int
+    task_finish: dict[int, float]  # seq -> finish time
+
+    def tag_duration(self, tag: str) -> float:
+        return self.completion_by_tag[tag] - self.start_by_tag.get(tag, 0.0)
+
+
+@dataclass
+class _Running:
+    task: GpuTask
+    remaining: float
+    rate: float = 0.0
+
+
+class Timeline:
+    """Simulates one batch of stream-ordered tasks to completion."""
+
+    def __init__(
+        self,
+        sm_capacity: int,
+        context_switch_cycles: float = 0.0,
+        spatial: bool = True,
+    ):
+        self.sm_capacity = sm_capacity
+        self.context_switch_cycles = context_switch_cycles
+        self.spatial = spatial
+
+    def run(self, tasks: list[GpuTask],
+            start_cycles: float = 0.0) -> TimelineResult:
+        """Simulate; tasks within a ``stream_key`` keep their list order.
+
+        ``start_cycles`` is the device's global clock at the start of
+        this batch: task releases are global host-clock instants, so
+        consecutive batches must continue on the same axis. All
+        reported times are relative to ``start_cycles`` (durations).
+        """
+        queues: dict[tuple, list[GpuTask]] = {}
+        for task in tasks:
+            queues.setdefault(task.stream_key, []).append(task)
+        # Treat per-stream lists as FIFOs (pop from the front).
+        for queue in queues.values():
+            queue.reverse()
+
+        clock = start_cycles
+        running: list[_Running] = []
+        finish: dict[int, float] = {}
+        completion: dict[str, float] = {}
+        start: dict[str, float] = {}
+        active_context: Optional[int] = None
+        switches = 0
+
+        def pending_contexts() -> list[int]:
+            ids = {queue[-1].context_id for queue in queues.values() if queue}
+            ids.update(r.task.context_id for r in running)
+            return sorted(ids)
+
+        while any(queues.values()) or running:
+            # -- admit new tasks -------------------------------------------
+            if not self.spatial:
+                if active_context is None or (
+                    not _context_busy(active_context, queues, running)
+                ):
+                    candidates = pending_contexts()
+                    if candidates:
+                        # Round-robin: next context after the current one.
+                        if active_context in candidates:
+                            next_context = active_context
+                        else:
+                            later = [
+                                cid for cid in candidates
+                                if active_context is not None
+                                and cid > active_context
+                            ]
+                            next_context = (
+                                later[0] if later else candidates[0]
+                            )
+                        if (
+                            active_context is not None
+                            and next_context != active_context
+                        ):
+                            clock += self.context_switch_cycles
+                            switches += 1
+                        active_context = next_context
+
+            started = True
+            blocked_release = None
+            while started:
+                started = False
+                blocked_release = None
+                busy_streams = {r.task.stream_key for r in running}
+                for stream_key, queue in queues.items():
+                    if not queue or stream_key in busy_streams:
+                        continue
+                    head = queue[-1]
+                    if not self.spatial and head.context_id != active_context:
+                        continue
+                    if head.release > clock + 1e-9:
+                        if (blocked_release is None
+                                or head.release < blocked_release):
+                            blocked_release = head.release
+                        continue
+                    if head.resource != RESOURCE_SM and _engine_busy(
+                        head.resource, running
+                    ):
+                        continue
+                    queue.pop()
+                    # Kernel work is measured in warp-cycles and drains
+                    # at the granted warp count per cycle; fold the
+                    # fixed (non-shareable) launch cost into work units
+                    # so running alone costs work/demand + fixed.
+                    if head.resource == RESOURCE_SM:
+                        remaining = head.work_cycles + (
+                            head.fixed_cycles * max(head.demand, 1)
+                        )
+                    else:
+                        remaining = head.work_cycles + head.fixed_cycles
+                    running.append(_Running(task=head, remaining=remaining))
+                    if head.tag and head.tag not in start:
+                        start[head.tag] = clock
+                    started = True
+
+            if not running:
+                if blocked_release is not None:
+                    # Everything pending waits on its submitter; the
+                    # GPU idles until the next release.
+                    clock = blocked_release
+                continue  # a context switch may also unblock work
+
+            # -- allocate rates (leftover policy for SM tasks) --------------
+            leftover = float(self.sm_capacity)
+            for entry in sorted(running, key=lambda r: r.task.seq):
+                task = entry.task
+                if task.resource == RESOURCE_SM:
+                    demand = max(task.demand, 1)
+                    granted = min(demand, leftover)
+                    leftover -= granted
+                    # Work drains at the granted warp count per cycle
+                    # (work is measured in warp-cycles).
+                    entry.rate = granted
+                else:
+                    entry.rate = 1.0  # dedicated copy engine
+
+            # -- advance to the next completion or release ------------------
+            dt = min(
+                entry.remaining / entry.rate
+                for entry in running
+                if entry.rate > 0
+            )
+            if blocked_release is not None:
+                dt = min(dt, blocked_release - clock)
+            clock += dt
+            survivors: list[_Running] = []
+            for entry in running:
+                entry.remaining -= entry.rate * dt
+                if entry.remaining <= 1e-9:
+                    finish[entry.task.seq] = clock
+                    if entry.task.tag:
+                        completion[entry.task.tag] = clock
+                else:
+                    survivors.append(entry)
+            running = survivors
+
+        return TimelineResult(
+            makespan_cycles=clock - start_cycles,
+            completion_by_tag={
+                tag: at - start_cycles for tag, at in completion.items()
+            },
+            start_by_tag={
+                tag: at - start_cycles for tag, at in start.items()
+            },
+            context_switches=switches,
+            task_finish={
+                seq: at - start_cycles for seq, at in finish.items()
+            },
+        )
+
+
+def _context_busy(context_id: int, queues: dict, running: list) -> bool:
+    if any(r.task.context_id == context_id for r in running):
+        return True
+    return any(
+        queue and queue[-1].context_id == context_id
+        for queue in queues.values()
+    )
+
+
+def _engine_busy(resource: str, running: list) -> bool:
+    return any(r.task.resource == resource for r in running)

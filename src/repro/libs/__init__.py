@@ -1,0 +1,27 @@
+"""Simulated "closed-source" CUDA-accelerated libraries.
+
+The paper's deployability argument rests on frameworks linking
+closed-source GPU libraries (cuBLAS, cuDNN, cuRAND, cuFFT) whose
+
+- *device* code exists only as PTX/cuBIN inside fatbins (no ``.cu``
+  source), and whose
+- *host* functions make **implicit** CUDA runtime calls — a single
+  ``cublasIsamax`` performs cudaMalloc + cudaMemcpy + kernel launches
+  behind the caller's back (§1, §4.1).
+
+The libraries here honour both properties: kernels are authored
+privately with the PTX builder, packaged into fatbins at import time,
+and never exposed as anything but PTX; host wrappers route every
+implicit call through the process's ``CudaRuntime`` (and hence through
+whatever backend was interposed), and touch the undocumented
+``cudaGetExportTable`` tables at initialisation — so an interception
+layer that misses either behaviour visibly breaks, exactly as the paper
+describes for prior systems.
+"""
+
+from repro.libs.cublas import CuBLAS
+from repro.libs.cudnn import CuDNN
+from repro.libs.cufft import CuFFT
+from repro.libs.curand import CuRAND
+
+__all__ = ["CuBLAS", "CuDNN", "CuFFT", "CuRAND"]

@@ -1,0 +1,167 @@
+"""cuBLAS host-side library (closed source from the caller's view).
+
+Each public function is a high-level BLAS call whose implementation
+issues multiple *implicit* CUDA runtime calls — allocations, transfers
+and kernel launches the application never sees. ``isamax`` is the
+paper's running example: one call performs scratch ``cudaMalloc``,
+kernel launches, a ``cudaMemcpy`` of partial results back to the host,
+and a host-side final reduction (the paper counts 15+ CUDA calls in
+the real one).
+
+At initialisation the library ``dlopen``s the driver and touches two
+``cudaGetExportTable`` tables — the behaviours that break naive
+library-level interception (§4.1, §7.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.driver.fatbin import FatBinary, build_fatbin
+from repro.libs.kernels import blas as _kernels
+from repro.ptx.builder import build_module
+from repro.runtime.api import CudaRuntime
+from repro.runtime.export_table import EXPORT_TABLE_UUIDS
+from repro.runtime.interpose import LIBCUDA
+
+_FATBIN: FatBinary | None = None
+
+
+def cublas_fatbin() -> FatBinary:
+    """The library's embedded fatbin (built once per process run)."""
+    global _FATBIN
+    if _FATBIN is None:
+        module = build_module(_kernels.all_kernels())
+        _FATBIN = build_fatbin(module, "libcublas.so.11", "11.7")
+    return _FATBIN
+
+
+class CuBLAS:
+    """A cublasHandle_t equivalent, bound to one process's runtime."""
+
+    SO_NAME = "libcublas.so.11"
+    BLOCK = 128
+
+    def __init__(self, runtime: CudaRuntime):
+        self._rt = runtime
+        # Real CUDA libraries dlopen the driver instead of linking it —
+        # resolving it here goes through any preloaded interposer.
+        self._driver = runtime.loader.dlopen(LIBCUDA)
+        # Hidden initialisation through the undocumented export tables.
+        ctx_table = runtime.cudaGetExportTable(EXPORT_TABLE_UUIDS[1])
+        ctx_table["primaryCtxRetain"]()
+        heur = runtime.cudaGetExportTable(EXPORT_TABLE_UUIDS[3])
+        self._granularity = heur["memGetGranularity"]()
+        self._handles = runtime.registerFatBinary(cublas_fatbin())
+
+    # -- helpers --------------------------------------------------------------
+
+    def _launch_1d(self, kernel: str, n: int, params: list,
+                   block: int | None = None) -> None:
+        block = block or self.BLOCK
+        grid = max(1, -(-n // block))
+        self._rt.cudaLaunchKernel(
+            self._handles[kernel], (grid, 1, 1), (block, 1, 1), params
+        )
+
+    # -- level-1 BLAS -----------------------------------------------------------
+
+    def saxpy(self, n: int, alpha: float, x: int, y: int) -> None:
+        """y = alpha * x + y (device pointers)."""
+        self._launch_1d("cublas_saxpy", n, [y, x, float(alpha), n])
+
+    def sscal(self, n: int, alpha: float, x: int) -> None:
+        self._launch_1d("cublas_sscal", n, [x, float(alpha), n])
+
+    def scopy(self, n: int, x: int, y: int) -> None:
+        self._launch_1d("cublas_scopy", n, [y, x, n])
+
+    def sdot(self, n: int, x: int, y: int) -> float:
+        """Dot product — two-phase reduction with implicit calls."""
+        block = _kernels.REDUCTION_BLOCK
+        blocks = max(1, -(-n // block))
+        scratch = self._rt.cudaMalloc(blocks * 4)
+        self._rt.cudaLaunchKernel(
+            self._handles["cublas_sdot_partial"],
+            (blocks, 1, 1), (block, 1, 1), [scratch, x, y, n],
+        )
+        partials = np.frombuffer(
+            self._rt.cudaMemcpyD2H(scratch, blocks * 4), dtype=np.float32
+        )
+        self._rt.cudaFree(scratch)
+        return float(partials.sum())
+
+    def isamax(self, n: int, x: int) -> int:
+        """Index of the max |x[i]| — the paper's implicit-call example.
+
+        Performs scratch allocation, kernel launch, D2H copies and a
+        host-side final reduction, all invisible to the caller.
+        """
+        block = _kernels.REDUCTION_BLOCK
+        blocks = max(1, -(-n // block))
+        scratch_vals = self._rt.cudaMalloc(blocks * 4)
+        scratch_idxs = self._rt.cudaMalloc(blocks * 4)
+        self._rt.cudaLaunchKernel(
+            self._handles["cublas_isamax_partial"],
+            (blocks, 1, 1), (block, 1, 1),
+            [scratch_vals, scratch_idxs, x, n],
+        )
+        values = np.frombuffer(
+            self._rt.cudaMemcpyD2H(scratch_vals, blocks * 4),
+            dtype=np.float32,
+        )
+        indices = np.frombuffer(
+            self._rt.cudaMemcpyD2H(scratch_idxs, blocks * 4),
+            dtype=np.uint32,
+        )
+        self._rt.cudaFree(scratch_vals)
+        self._rt.cudaFree(scratch_idxs)
+        return int(indices[int(values.argmax())])
+
+    # -- level-3 BLAS -------------------------------------------------------------
+
+    def sgemm(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        a: int,
+        b: int,
+        c: int,
+        trans_a: bool = False,
+        trans_b: bool = False,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        a_row_stride: int | None = None,
+    ) -> None:
+        """C[m,n] = alpha * op(A) @ op(B) + beta * C (row-major).
+
+        Transposition is expressed through the strided kernel: op(A)
+        has logical shape (m, k); if ``trans_a`` the buffer holds
+        A as (k, m). ``a_row_stride`` overrides A's row stride for
+        non-transposed strided inputs (e.g. a time-slice of a
+        (batch, steps, features) tensor).
+        """
+        sa0, sa1 = (1, m) if trans_a else (a_row_stride or k, 1)
+        sb0, sb1 = (1, k) if trans_b else (n, 1)
+        self._launch_1d(
+            "cublas_sgemm", m * n,
+            [c, a, b, m, n, k, sa0, sa1, sb0, sb1,
+             float(alpha), float(beta)],
+            block=64,
+        )
+
+    def sgemm_tiled(self, m: int, n: int, k: int, a: int, b: int,
+                    c: int) -> None:
+        """Shared-memory tiled GEMM (no transposes, alpha=1, beta=0)."""
+        tile = _kernels.GEMM_TILE
+        grid = (max(1, -(-n // tile)), max(1, -(-m // tile)), 1)
+        self._rt.cudaLaunchKernel(
+            self._handles["cublas_sgemm_tiled"],
+            grid, (tile, tile, 1), [c, a, b, m, n, k],
+        )
+
+    @property
+    def kernel_handles(self) -> dict[str, int]:
+        """Kernel handles (used by census tooling, not applications)."""
+        return dict(self._handles)

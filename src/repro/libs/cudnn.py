@@ -1,0 +1,139 @@
+"""cuDNN host-side library (closed source from the caller's view).
+
+Layer primitives for the mini-framework: convolution (forward and both
+backward passes), pooling, activations, fused softmax/cross-entropy,
+bias handling and the SGD step. Every method launches kernels and may
+allocate scratch through the process runtime — implicit CUDA calls,
+like the real library.
+"""
+
+from __future__ import annotations
+
+from repro.driver.fatbin import FatBinary, build_fatbin
+from repro.libs.kernels import dnn as _kernels
+from repro.ptx.builder import build_module
+from repro.runtime.api import CudaRuntime
+from repro.runtime.export_table import EXPORT_TABLE_UUIDS
+from repro.runtime.interpose import LIBCUDA
+
+_FATBIN: FatBinary | None = None
+
+
+def cudnn_fatbin() -> FatBinary:
+    global _FATBIN
+    if _FATBIN is None:
+        module = build_module(_kernels.all_kernels())
+        _FATBIN = build_fatbin(module, "libcudnn.so.8", "11.7")
+    return _FATBIN
+
+
+class CuDNN:
+    """A cudnnHandle_t equivalent."""
+
+    SO_NAME = "libcudnn.so.8"
+    BLOCK = 128
+
+    def __init__(self, runtime: CudaRuntime):
+        self._rt = runtime
+        self._driver = runtime.loader.dlopen(LIBCUDA)
+        occupancy = runtime.cudaGetExportTable(EXPORT_TABLE_UUIDS[4])
+        self._max_blocks = occupancy["occupancyMaxActiveBlocks"](self.BLOCK)
+        streams = runtime.cudaGetExportTable(EXPORT_TABLE_UUIDS[2])
+        streams["streamIsCapturing"](0)
+        self._handles = runtime.registerFatBinary(cudnn_fatbin())
+
+    def _launch_1d(self, kernel: str, n: int, params: list) -> None:
+        grid = max(1, -(-n // self.BLOCK))
+        self._rt.cudaLaunchKernel(
+            self._handles[kernel], (grid, 1, 1), (self.BLOCK, 1, 1), params
+        )
+
+    # -- convolution -------------------------------------------------------------
+
+    def conv2d_forward(self, y: int, x: int, w: int, bias: int,
+                       n: int, cin: int, h: int, win: int,
+                       cout: int, kh: int, kw: int) -> tuple[int, int]:
+        """Valid-padding stride-1 convolution; returns (oh, ow)."""
+        oh, ow = h - kh + 1, win - kw + 1
+        self._launch_1d(
+            "cudnn_conv2d_fwd", n * cout * oh * ow,
+            [y, x, w, bias, n, cin, h, win, cout, kh, kw, oh, ow],
+        )
+        return oh, ow
+
+    def conv2d_backward_filter(self, dw: int, x: int, dy: int,
+                               n: int, cin: int, h: int, win: int,
+                               cout: int, kh: int, kw: int) -> None:
+        oh, ow = h - kh + 1, win - kw + 1
+        self._launch_1d(
+            "cudnn_conv2d_bwd_filter", cout * cin * kh * kw,
+            [dw, x, dy, n, cin, h, win, cout, kh, kw, oh, ow],
+        )
+
+    def conv2d_backward_data(self, dx: int, w: int, dy: int,
+                             n: int, cin: int, h: int, win: int,
+                             cout: int, kh: int, kw: int) -> None:
+        oh, ow = h - kh + 1, win - kw + 1
+        self._launch_1d(
+            "cudnn_conv2d_bwd_data", n * cin * h * win,
+            [dx, w, dy, n, cin, h, win, cout, kh, kw, oh, ow],
+        )
+
+    def bias_backward(self, db: int, dy: int, n: int, cout: int,
+                      per_channel: int) -> None:
+        self._launch_1d("cudnn_bias_grad", cout,
+                        [db, dy, n, cout, per_channel])
+
+    # -- pooling -----------------------------------------------------------------
+
+    def maxpool_forward(self, y: int, idx: int, x: int,
+                        nc: int, h: int, win: int, p: int
+                        ) -> tuple[int, int]:
+        oh, ow = h // p, win // p
+        self._launch_1d("cudnn_maxpool_fwd", nc * oh * ow,
+                        [y, idx, x, nc, h, win, p])
+        return oh, ow
+
+    def maxpool_backward(self, dx: int, dy: int, idx: int, n_out: int,
+                         n_in: int) -> None:
+        # dX must start zeroed; the scatter then fills the argmaxes.
+        self._rt.cudaMemset(dx, 0, n_in * 4)
+        self._launch_1d("cudnn_maxpool_bwd", n_out, [dx, dy, idx, n_out])
+
+    # -- activations / elementwise ------------------------------------------------
+
+    def relu_forward(self, y: int, x: int, n: int) -> None:
+        self._launch_1d("cudnn_relu_fwd", n, [y, x, n])
+
+    def relu_backward(self, dx: int, dy: int, y: int, n: int) -> None:
+        self._launch_1d("cudnn_relu_bwd", n, [dx, dy, y, n])
+
+    def tanh_forward(self, y: int, x: int, n: int) -> None:
+        self._launch_1d("cudnn_tanh_fwd", n, [y, x, n])
+
+    def add(self, z: int, x: int, y: int, n: int) -> None:
+        self._launch_1d("cudnn_add", n, [z, x, y, n])
+
+    def add_bias(self, y: int, bias: int, rows: int, cols: int) -> None:
+        self._launch_1d("cudnn_add_bias", rows * cols,
+                        [y, bias, rows, cols])
+
+    def fill(self, x: int, value: float, n: int) -> None:
+        self._launch_1d("cudnn_fill", n, [x, float(value), n])
+
+    # -- loss & optimiser ------------------------------------------------------------
+
+    def softmax_xent(self, probs: int, loss: int, dx: int, x: int,
+                     labels: int, rows: int, cols: int,
+                     scale: float) -> None:
+        """Fused softmax + cross-entropy fwd/bwd (one thread per row)."""
+        self._launch_1d("cudnn_softmax_xent", rows,
+                        [probs, loss, dx, x, labels, rows, cols,
+                         float(scale)])
+
+    def sgd_update(self, w: int, g: int, lr: float, n: int) -> None:
+        self._launch_1d("cudnn_sgd_update", n, [w, g, float(lr), n])
+
+    @property
+    def kernel_handles(self) -> dict[str, int]:
+        return dict(self._handles)

@@ -1,0 +1,70 @@
+"""cuFFT host-side library.
+
+``execute`` mirrors real cuFFT plans: scratch buffers are allocated
+behind the caller's back (implicit ``cudaMalloc``), and the inverse
+transform launches an extra normalisation kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.driver.fatbin import FatBinary, build_fatbin
+from repro.libs.kernels import fft as _kernels
+from repro.ptx.builder import build_module
+from repro.runtime.api import CudaRuntime
+from repro.runtime.export_table import EXPORT_TABLE_UUIDS
+from repro.runtime.interpose import LIBCUDA
+
+_FATBIN: FatBinary | None = None
+
+
+def cufft_fatbin() -> FatBinary:
+    global _FATBIN
+    if _FATBIN is None:
+        module = build_module(_kernels.all_kernels())
+        _FATBIN = build_fatbin(module, "libcufft.so.10", "11.7")
+    return _FATBIN
+
+
+class CuFFT:
+    """A cufftHandle equivalent (1-D complex-to-complex plans)."""
+
+    SO_NAME = "libcufft.so.10"
+    BLOCK = 64
+
+    def __init__(self, runtime: CudaRuntime):
+        self._rt = runtime
+        self._driver = runtime.loader.dlopen(LIBCUDA)
+        table = runtime.cudaGetExportTable(EXPORT_TABLE_UUIDS[3])
+        table["memPoolQuery"]()
+        self._handles = runtime.registerFatBinary(cufft_fatbin())
+
+    def execute(self, out: int, inp: int, n: int,
+                inverse: bool = False) -> None:
+        """Out-of-place 1-D C2C transform of n interleaved points."""
+        grid = max(1, -(-n // self.BLOCK))
+        sign = 1.0 if inverse else -1.0
+        self._rt.cudaLaunchKernel(
+            self._handles["cufft_dft"],
+            (grid, 1, 1), (self.BLOCK, 1, 1), [out, inp, n, sign],
+        )
+        if inverse:
+            total = 2 * n
+            grid2 = max(1, -(-total // self.BLOCK))
+            self._rt.cudaLaunchKernel(
+                self._handles["cufft_scale"],
+                (grid2, 1, 1), (self.BLOCK, 1, 1),
+                [out, 1.0 / n, total],
+            )
+
+    def roundtrip(self, buf: int, n: int) -> None:
+        """FFT then IFFT in place — allocates implicit scratch."""
+        scratch = self._rt.cudaMalloc(2 * n * 4)
+        self.execute(scratch, buf, n, inverse=False)
+        self.execute(buf, scratch, n, inverse=True)
+        self._rt.cudaFree(scratch)
+
+    @property
+    def kernel_handles(self) -> dict[str, int]:
+        return dict(self._handles)

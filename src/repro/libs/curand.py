@@ -1,0 +1,63 @@
+"""cuRAND host-side library."""
+
+from __future__ import annotations
+
+from repro.driver.fatbin import FatBinary, build_fatbin
+from repro.libs.kernels import rand as _kernels
+from repro.ptx.builder import build_module
+from repro.runtime.api import CudaRuntime
+from repro.runtime.export_table import EXPORT_TABLE_UUIDS
+from repro.runtime.interpose import LIBCUDA
+
+_FATBIN: FatBinary | None = None
+
+
+def curand_fatbin() -> FatBinary:
+    global _FATBIN
+    if _FATBIN is None:
+        module = build_module(_kernels.all_kernels())
+        _FATBIN = build_fatbin(module, "libcurand.so.10", "11.7")
+    return _FATBIN
+
+
+class CuRAND:
+    """A curandGenerator_t equivalent (counter-based, reproducible)."""
+
+    SO_NAME = "libcurand.so.10"
+    BLOCK = 128
+
+    def __init__(self, runtime: CudaRuntime, seed: int = 0x5EED):
+        self._rt = runtime
+        self._driver = runtime.loader.dlopen(LIBCUDA)
+        table = runtime.cudaGetExportTable(EXPORT_TABLE_UUIDS[0])
+        table["ctxLocalStoragePut"]("curand", seed)
+        self._handles = runtime.registerFatBinary(curand_fatbin())
+        self.seed = seed
+        self._offset = 0
+
+    def _launch_1d(self, kernel: str, n: int, params: list) -> None:
+        grid = max(1, -(-n // self.BLOCK))
+        self._rt.cudaLaunchKernel(
+            self._handles[kernel], (grid, 1, 1), (self.BLOCK, 1, 1), params
+        )
+
+    def _next_seed(self) -> int:
+        # Advance the stream so successive fills are independent.
+        self._offset += 1
+        return (self.seed + 0x9E37 * self._offset) & ((1 << 64) - 1)
+
+    def generate_uniform(self, x: int, n: int) -> None:
+        """Fill n floats with uniform [0, 1) values."""
+        self._launch_1d("curand_uniform", n, [x, self._next_seed(), n])
+
+    def generate_normal(self, x: int, n: int, mean: float = 0.0,
+                        stddev: float = 1.0) -> None:
+        """Fill n floats with N(mean, stddev) values."""
+        self._launch_1d(
+            "curand_normal", n,
+            [x, self._next_seed(), float(mean), float(stddev), n],
+        )
+
+    @property
+    def kernel_handles(self) -> dict[str, int]:
+        return dict(self._handles)

@@ -1,0 +1,7 @@
+"""Device-kernel sources of the simulated accelerated libraries.
+
+Each module builds the PTX kernels of one library with
+:class:`repro.ptx.builder.KernelBuilder`. Nothing outside this package
+sees the builders — the libraries export only fatbins, preserving the
+closed-source property Guardian is designed around.
+"""

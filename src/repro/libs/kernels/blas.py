@@ -1,0 +1,337 @@
+"""cuBLAS-style device kernels (PTX builders).
+
+The workhorses of the mini-framework: strided GEMM (one kernel covers
+all transpose combinations via stride parameters), a shared-memory
+tiled GEMM exercising barriers, vector ops, and the two-phase
+reductions behind ``isamax``/``sdot`` whose host orchestration makes
+the implicit-call pattern the paper highlights.
+"""
+
+from __future__ import annotations
+
+from repro.ptx.ast import Immediate, Kernel
+from repro.ptx.builder import KernelBuilder
+
+
+def saxpy_kernel() -> Kernel:
+    """y[i] = alpha * x[i] + y[i]"""
+    b = KernelBuilder("cublas_saxpy", params=[
+        ("y", "u64"), ("x", "u64"), ("alpha", "f32"), ("n", "u32"),
+    ])
+    y = b.load_param_ptr("y")
+    x = b.load_param_ptr("x")
+    alpha = b.load_param("alpha", "f32")
+    n = b.load_param("n", "u32")
+    gid = b.global_thread_id()
+    with b.if_less_than(gid, n):
+        x_addr = b.element_addr(x, gid, 4)
+        y_addr = b.element_addr(y, gid, 4)
+        result = b.fma("f32", b.ld_global("f32", x_addr), alpha,
+                       b.ld_global("f32", y_addr))
+        b.st_global("f32", y_addr, result)
+    return b.build()
+
+
+def sscal_kernel() -> Kernel:
+    """x[i] *= alpha"""
+    b = KernelBuilder("cublas_sscal", params=[
+        ("x", "u64"), ("alpha", "f32"), ("n", "u32"),
+    ])
+    x = b.load_param_ptr("x")
+    alpha = b.load_param("alpha", "f32")
+    n = b.load_param("n", "u32")
+    gid = b.global_thread_id()
+    with b.if_less_than(gid, n):
+        addr = b.element_addr(x, gid, 4)
+        b.st_global("f32", addr, b.mul("f32", b.ld_global("f32", addr),
+                                       alpha))
+    return b.build()
+
+
+def scopy_kernel() -> Kernel:
+    """y[i] = x[i]"""
+    b = KernelBuilder("cublas_scopy", params=[
+        ("y", "u64"), ("x", "u64"), ("n", "u32"),
+    ])
+    y = b.load_param_ptr("y")
+    x = b.load_param_ptr("x")
+    n = b.load_param("n", "u32")
+    gid = b.global_thread_id()
+    with b.if_less_than(gid, n):
+        value = b.ld_global("f32", b.element_addr(x, gid, 4))
+        b.st_global("f32", b.element_addr(y, gid, 4), value)
+    return b.build()
+
+
+def sgemm_strided_kernel() -> Kernel:
+    """C[m,n] = alpha * sum_k A[m*sa0+k*sa1] * B[k*sb0+n*sb1] + beta*C[m,n]
+
+    One thread per C element; the stride parameters express every
+    transpose combination with a single binary kernel, the way real
+    BLAS kernels are specialised.
+    """
+    b = KernelBuilder("cublas_sgemm", params=[
+        ("c", "u64"), ("a", "u64"), ("b", "u64"),
+        ("m", "u32"), ("n", "u32"), ("k", "u32"),
+        ("sa0", "u32"), ("sa1", "u32"), ("sb0", "u32"), ("sb1", "u32"),
+        ("alpha", "f32"), ("beta", "f32"),
+    ])
+    c_ptr = b.load_param_ptr("c")
+    a_ptr = b.load_param_ptr("a")
+    b_ptr = b.load_param_ptr("b")
+    m = b.load_param("m", "u32")
+    n = b.load_param("n", "u32")
+    k = b.load_param("k", "u32")
+    sa0 = b.load_param("sa0", "u32")
+    sa1 = b.load_param("sa1", "u32")
+    sb0 = b.load_param("sb0", "u32")
+    sb1 = b.load_param("sb1", "u32")
+    alpha = b.load_param("alpha", "f32")
+    beta = b.load_param("beta", "f32")
+
+    gid = b.global_thread_id()
+    total = b.mul("u32", m, n)
+    with b.if_less_than(gid, total):
+        row = b.div("u32", gid, n)
+        col = b.rem("u32", gid, n)
+        acc = b.mov("f32", Immediate(0.0))
+        a_row = b.mul("u32", row, sa0)
+        b_col = b.mul("u32", col, sb1)
+        with b.loop(k) as kk:
+            a_index = b.mad_lo("u32", kk, sa1, a_row)
+            b_index = b.mad_lo("u32", kk, sb0, b_col)
+            a_val = b.ld_global("f32", b.element_addr(a_ptr, a_index, 4))
+            b_val = b.ld_global("f32", b.element_addr(b_ptr, b_index, 4))
+            new_acc = b.fma("f32", a_val, b_val, acc)
+            b.emit("mov.f32", acc, new_acc)
+        c_addr = b.element_addr(c_ptr, gid, 4)
+        old = b.ld_global("f32", c_addr)
+        scaled_old = b.mul("f32", old, beta)
+        result = b.fma("f32", acc, alpha, scaled_old)
+        b.st_global("f32", c_addr, result)
+    return b.build()
+
+
+#: Tile edge of the shared-memory GEMM (threads per block = TILE*TILE).
+GEMM_TILE = 8
+
+
+def sgemm_tiled_kernel() -> Kernel:
+    """Shared-memory tiled GEMM, row-major, no transposes.
+
+    Each block computes a TILE x TILE tile of C, staging A and B tiles
+    through shared memory with ``bar.sync`` between stages — the
+    canonical CUDA GEMM structure, here to exercise shared memory and
+    barriers under instrumentation (shared accesses must NOT be
+    fenced).
+    """
+    tile = GEMM_TILE
+    b = KernelBuilder("cublas_sgemm_tiled", params=[
+        ("c", "u64"), ("a", "u64"), ("b", "u64"),
+        ("m", "u32"), ("n", "u32"), ("k", "u32"),
+    ])
+    a_shared = b.shared_array("grdA", "f32", tile * tile)
+    b_shared = b.shared_array("grdB", "f32", tile * tile)
+
+    c_ptr = b.load_param_ptr("c")
+    a_ptr = b.load_param_ptr("a")
+    b_ptr = b.load_param_ptr("b")
+    m = b.load_param("m", "u32")
+    n = b.load_param("n", "u32")
+    k = b.load_param("k", "u32")
+
+    tx = b.special("%tid.x")
+    ty = b.special("%tid.y")
+    bx = b.special("%ctaid.x")
+    by = b.special("%ctaid.y")
+    row = b.mad_lo("u32", by, Immediate(tile), ty)
+    col = b.mad_lo("u32", bx, Immediate(tile), tx)
+    acc = b.mov("f32", Immediate(0.0))
+
+    num_tiles = b.div("u32", b.add("u32", k, Immediate(tile - 1)),
+                      Immediate(tile))
+    a_base = b.mov("u64", a_shared)   # shared offsets
+    b_base = b.mov("u64", b_shared)
+    local_index = b.mad_lo("u32", ty, Immediate(tile), tx)
+    local_off = b.mul("u32", local_index, Immediate(4))
+    a_slot = b.add("u64", a_base, b.cvt("u64", "u32", local_off))
+    b_slot = b.add("u64", b_base, b.cvt("u64", "u32", local_off))
+
+    with b.loop(num_tiles) as t:
+        # Stage A[row, t*tile+tx] and B[t*tile+ty, col]; out-of-range
+        # lanes stage zero.
+        a_col = b.mad_lo("u32", t, Immediate(tile), tx)
+        b_row = b.mad_lo("u32", t, Immediate(tile), ty)
+        zero = b.mov("f32", Immediate(0.0))
+        b.st_shared("f32", a_slot, zero)
+        b.st_shared("f32", b_slot, zero)
+        ok_a_row = b.setp("lt", "u32", row, m)
+        ok_a_col = b.setp("lt", "u32", a_col, k)
+        skip_a = b.fresh_label("sa")
+        b.bra(skip_a, guard_reg=ok_a_row, negated=True)
+        b.bra(skip_a, guard_reg=ok_a_col, negated=True)
+        a_index = b.mad_lo("u32", row, k, a_col)
+        a_val = b.ld_global("f32", b.element_addr(a_ptr, a_index, 4))
+        b.st_shared("f32", a_slot, a_val)
+        b.label(skip_a)
+        ok_b_row = b.setp("lt", "u32", b_row, k)
+        ok_b_col = b.setp("lt", "u32", col, n)
+        skip_b = b.fresh_label("sb")
+        b.bra(skip_b, guard_reg=ok_b_row, negated=True)
+        b.bra(skip_b, guard_reg=ok_b_col, negated=True)
+        b_index = b.mad_lo("u32", b_row, n, col)
+        b_val = b.ld_global("f32", b.element_addr(b_ptr, b_index, 4))
+        b.st_shared("f32", b_slot, b_val)
+        b.label(skip_b)
+        b.barrier()
+        with b.loop(Immediate(tile)) as kk:
+            a_off = b.mul("u32", b.mad_lo("u32", ty, Immediate(tile), kk),
+                          Immediate(4))
+            b_off = b.mul("u32", b.mad_lo("u32", kk, Immediate(tile), tx),
+                          Immediate(4))
+            a_elem = b.ld_shared(
+                "f32", b.add("u64", a_base, b.cvt("u64", "u32", a_off)))
+            b_elem = b.ld_shared(
+                "f32", b.add("u64", b_base, b.cvt("u64", "u32", b_off)))
+            updated = b.fma("f32", a_elem, b_elem, acc)
+            b.emit("mov.f32", acc, updated)
+        b.barrier()
+
+    in_row = b.setp("lt", "u32", row, m)
+    in_col = b.setp("lt", "u32", col, n)
+    done = b.fresh_label("done")
+    b.bra(done, guard_reg=in_row, negated=True)
+    b.bra(done, guard_reg=in_col, negated=True)
+    c_index = b.mad_lo("u32", row, n, col)
+    b.st_global("f32", b.element_addr(c_ptr, c_index, 4), acc)
+    b.label(done)
+    return b.build()
+
+
+def isamax_partial_kernel() -> Kernel:
+    """Phase 1 of isamax: per-block (max |x|, argmax) to scratch.
+
+    Each block reduces its slice in shared memory; the host launches a
+    second phase (or reduces the per-block results itself after a
+    D2H copy — the implicit cudaMemcpy of ``cublasIsamax``).
+    """
+    block = 64
+    b = KernelBuilder("cublas_isamax_partial", params=[
+        ("out_val", "u64"), ("out_idx", "u64"), ("x", "u64"), ("n", "u32"),
+    ])
+    vals = b.shared_array("redV", "f32", block)
+    idxs = b.shared_array("redI", "b32", block)
+    out_val = b.load_param_ptr("out_val")
+    out_idx = b.load_param_ptr("out_idx")
+    x = b.load_param_ptr("x")
+    n = b.load_param("n", "u32")
+    tid = b.special("%tid.x")
+    gid = b.global_thread_id()
+
+    vals_base = b.mov("u64", vals)
+    idxs_base = b.mov("u64", idxs)
+    my_off = b.cvt("u64", "u32", b.mul("u32", tid, Immediate(4)))
+    my_val_slot = b.add("u64", vals_base, my_off)
+    my_idx_slot = b.add("u64", idxs_base, my_off)
+
+    # Stage |x[gid]| (or -1 when out of range).
+    neg = b.mov("f32", Immediate(-1.0))
+    b.st_shared("f32", my_val_slot, neg)
+    b.st_shared("b32", my_idx_slot, gid)
+    with b.if_less_than(gid, n):
+        value = b.ld_global("f32", b.element_addr(x, gid, 4))
+        b.st_shared("f32", my_val_slot, b.unary("abs", "f32", value))
+    b.barrier()
+
+    # Tree reduction in shared memory.
+    stride = block // 2
+    while stride >= 1:
+        with b.if_less_than(tid, Immediate(stride)):
+            peer_off = b.cvt(
+                "u64", "u32",
+                b.mul("u32", b.add("u32", tid, Immediate(stride)),
+                      Immediate(4)),
+            )
+            peer_val = b.ld_shared("f32", b.add("u64", vals_base, peer_off))
+            peer_idx = b.ld_shared("b32", b.add("u64", idxs_base, peer_off))
+            mine = b.ld_shared("f32", my_val_slot)
+            better = b.setp("gt", "f32", peer_val, mine)
+            keep = b.fresh_label("keep")
+            b.bra(keep, guard_reg=better, negated=True)
+            b.st_shared("f32", my_val_slot, peer_val)
+            b.st_shared("b32", my_idx_slot, peer_idx)
+            b.label(keep)
+        b.barrier()
+        stride //= 2
+
+    with b.if_less_than(tid, Immediate(1)):
+        block_id = b.special("%ctaid.x")
+        best = b.ld_shared("f32", my_val_slot)
+        best_idx = b.ld_shared("b32", my_idx_slot)
+        b.st_global("f32", b.element_addr(out_val, block_id, 4), best)
+        b.st_global("b32", b.element_addr(out_idx, block_id, 4), best_idx)
+    return b.build()
+
+
+def sdot_partial_kernel() -> Kernel:
+    """Phase 1 of sdot: per-block partial dot products to scratch."""
+    block = 64
+    b = KernelBuilder("cublas_sdot_partial", params=[
+        ("out", "u64"), ("x", "u64"), ("y", "u64"), ("n", "u32"),
+    ])
+    partial = b.shared_array("redD", "f32", block)
+    out = b.load_param_ptr("out")
+    x = b.load_param_ptr("x")
+    y = b.load_param_ptr("y")
+    n = b.load_param("n", "u32")
+    tid = b.special("%tid.x")
+    gid = b.global_thread_id()
+
+    base = b.mov("u64", partial)
+    my_slot = b.add("u64", base,
+                    b.cvt("u64", "u32", b.mul("u32", tid, Immediate(4))))
+    zero = b.mov("f32", Immediate(0.0))
+    b.st_shared("f32", my_slot, zero)
+    with b.if_less_than(gid, n):
+        xv = b.ld_global("f32", b.element_addr(x, gid, 4))
+        yv = b.ld_global("f32", b.element_addr(y, gid, 4))
+        b.st_shared("f32", my_slot, b.mul("f32", xv, yv))
+    b.barrier()
+
+    stride = block // 2
+    while stride >= 1:
+        with b.if_less_than(tid, Immediate(stride)):
+            peer = b.ld_shared(
+                "f32",
+                b.add("u64", base, b.cvt(
+                    "u64", "u32",
+                    b.mul("u32", b.add("u32", tid, Immediate(stride)),
+                          Immediate(4)))),
+            )
+            mine = b.ld_shared("f32", my_slot)
+            b.st_shared("f32", my_slot, b.add("f32", mine, peer))
+        b.barrier()
+        stride //= 2
+
+    with b.if_less_than(tid, Immediate(1)):
+        block_id = b.special("%ctaid.x")
+        total = b.ld_shared("f32", my_slot)
+        b.st_global("f32", b.element_addr(out, block_id, 4), total)
+    return b.build()
+
+
+#: Threads per block used by the reduction kernels above.
+REDUCTION_BLOCK = 64
+
+
+def all_kernels() -> list[Kernel]:
+    """Every kernel the cuBLAS fatbin ships."""
+    return [
+        saxpy_kernel(),
+        sscal_kernel(),
+        scopy_kernel(),
+        sgemm_strided_kernel(),
+        sgemm_tiled_kernel(),
+        isamax_partial_kernel(),
+        sdot_partial_kernel(),
+    ]

@@ -1,0 +1,506 @@
+"""cuDNN-style device kernels (PTX builders).
+
+Direct convolution (forward, backward-data, backward-filter),
+max-pooling with argmax bookkeeping, activations, fused
+softmax+cross-entropy, bias plumbing and the SGD update — the kernel
+set a Caffe/PyTorch-class training loop actually launches, with the
+integer div/rem index decompositions real kernels pay for.
+"""
+
+from __future__ import annotations
+
+from repro.ptx.ast import Immediate, Kernel
+from repro.ptx.builder import KernelBuilder
+
+
+def conv2d_forward_kernel() -> Kernel:
+    """Direct convolution, valid padding, stride 1, one thread per
+    output element. y[b, oc, oy, ox] = bias[oc] + sum x*w."""
+    b = KernelBuilder("cudnn_conv2d_fwd", params=[
+        ("y", "u64"), ("x", "u64"), ("w", "u64"), ("bias", "u64"),
+        ("n", "u32"), ("cin", "u32"), ("h", "u32"), ("win", "u32"),
+        ("cout", "u32"), ("kh", "u32"), ("kw", "u32"),
+        ("oh", "u32"), ("ow", "u32"),
+    ])
+    y = b.load_param_ptr("y")
+    x = b.load_param_ptr("x")
+    w = b.load_param_ptr("w")
+    bias = b.load_param_ptr("bias")
+    n = b.load_param("n", "u32")
+    cin = b.load_param("cin", "u32")
+    h = b.load_param("h", "u32")
+    win = b.load_param("win", "u32")
+    cout = b.load_param("cout", "u32")
+    kh = b.load_param("kh", "u32")
+    kw = b.load_param("kw", "u32")
+    oh = b.load_param("oh", "u32")
+    ow = b.load_param("ow", "u32")
+
+    gid = b.global_thread_id()
+    out_per_image = b.mul("u32", cout, b.mul("u32", oh, ow))
+    total = b.mul("u32", n, out_per_image)
+    with b.if_less_than(gid, total):
+        ohw = b.mul("u32", oh, ow)
+        batch = b.div("u32", gid, out_per_image)
+        rem0 = b.rem("u32", gid, out_per_image)
+        oc = b.div("u32", rem0, ohw)
+        rem1 = b.rem("u32", rem0, ohw)
+        oy = b.div("u32", rem1, ow)
+        ox = b.rem("u32", rem1, ow)
+
+        acc = b.ld_global("f32", b.element_addr(bias, oc, 4))
+        acc_reg = b.mov("f32", acc)
+        with b.loop(cin) as ic:
+            # Per-channel bases hoisted like a real compiler would.
+            x_chan = b.mul("u32", b.mad_lo("u32", batch, cin, ic), h)
+            w_chan = b.mul("u32", b.mad_lo("u32", oc, cin, ic), kh)
+            with b.loop(kh) as ky:
+                iy = b.add("u32", oy, ky)
+                x_row = b.mul("u32", b.add("u32", x_chan, iy), win)
+                w_row = b.mul("u32", b.add("u32", w_chan, ky), kw)
+                with b.loop(kw) as kx:
+                    ix = b.add("u32", ox, kx)
+                    x_index = b.add("u32", x_row, ix)
+                    w_index = b.add("u32", w_row, kx)
+                    xv = b.ld_global("f32", b.element_addr(x, x_index, 4))
+                    wv = b.ld_global("f32", b.element_addr(w, w_index, 4))
+                    updated = b.fma("f32", xv, wv, acc_reg)
+                    b.emit("mov.f32", acc_reg, updated)
+        b.st_global("f32", b.element_addr(y, gid, 4), acc_reg)
+    return b.build()
+
+
+def conv2d_bwd_filter_kernel() -> Kernel:
+    """dW[oc,ic,ky,kx] = sum over (batch, oy, ox) of x * dy."""
+    b = KernelBuilder("cudnn_conv2d_bwd_filter", params=[
+        ("dw", "u64"), ("x", "u64"), ("dy", "u64"),
+        ("n", "u32"), ("cin", "u32"), ("h", "u32"), ("win", "u32"),
+        ("cout", "u32"), ("kh", "u32"), ("kw", "u32"),
+        ("oh", "u32"), ("ow", "u32"),
+    ])
+    dw = b.load_param_ptr("dw")
+    x = b.load_param_ptr("x")
+    dy = b.load_param_ptr("dy")
+    n = b.load_param("n", "u32")
+    cin = b.load_param("cin", "u32")
+    h = b.load_param("h", "u32")
+    win = b.load_param("win", "u32")
+    cout = b.load_param("cout", "u32")
+    kh = b.load_param("kh", "u32")
+    kw = b.load_param("kw", "u32")
+    oh = b.load_param("oh", "u32")
+    ow = b.load_param("ow", "u32")
+
+    gid = b.global_thread_id()
+    khw = b.mul("u32", kh, kw)
+    per_oc = b.mul("u32", cin, khw)
+    total = b.mul("u32", cout, per_oc)
+    with b.if_less_than(gid, total):
+        oc = b.div("u32", gid, per_oc)
+        rem0 = b.rem("u32", gid, per_oc)
+        ic = b.div("u32", rem0, khw)
+        rem1 = b.rem("u32", rem0, khw)
+        ky = b.div("u32", rem1, kw)
+        kx = b.rem("u32", rem1, kw)
+
+        acc = b.mov("f32", Immediate(0.0))
+        with b.loop(n) as batch:
+            x_chan = b.mul("u32", b.mad_lo("u32", batch, cin, ic), h)
+            dy_chan = b.mul("u32", b.mad_lo("u32", batch, cout, oc), oh)
+            with b.loop(oh) as oy:
+                x_row = b.mul("u32",
+                              b.add("u32", x_chan, b.add("u32", oy, ky)),
+                              win)
+                dy_row = b.mul("u32", b.add("u32", dy_chan, oy), ow)
+                with b.loop(ow) as ox:
+                    x_index = b.add("u32", x_row, b.add("u32", ox, kx))
+                    dy_index = b.add("u32", dy_row, ox)
+                    xv = b.ld_global("f32", b.element_addr(x, x_index, 4))
+                    gv = b.ld_global("f32", b.element_addr(dy, dy_index, 4))
+                    updated = b.fma("f32", xv, gv, acc)
+                    b.emit("mov.f32", acc, updated)
+        b.st_global("f32", b.element_addr(dw, gid, 4), acc)
+    return b.build()
+
+
+def conv2d_bwd_data_kernel() -> Kernel:
+    """dX[b,ic,iy,ix] = sum over (oc,ky,kx) with validity checks."""
+    b = KernelBuilder("cudnn_conv2d_bwd_data", params=[
+        ("dx", "u64"), ("w", "u64"), ("dy", "u64"),
+        ("n", "u32"), ("cin", "u32"), ("h", "u32"), ("win", "u32"),
+        ("cout", "u32"), ("kh", "u32"), ("kw", "u32"),
+        ("oh", "u32"), ("ow", "u32"),
+    ])
+    dx = b.load_param_ptr("dx")
+    w = b.load_param_ptr("w")
+    dy = b.load_param_ptr("dy")
+    n = b.load_param("n", "u32")
+    cin = b.load_param("cin", "u32")
+    h = b.load_param("h", "u32")
+    win = b.load_param("win", "u32")
+    cout = b.load_param("cout", "u32")
+    kh = b.load_param("kh", "u32")
+    kw = b.load_param("kw", "u32")
+    oh = b.load_param("oh", "u32")
+    ow = b.load_param("ow", "u32")
+
+    gid = b.global_thread_id()
+    hw = b.mul("u32", h, win)
+    per_image = b.mul("u32", cin, hw)
+    total = b.mul("u32", n, per_image)
+    with b.if_less_than(gid, total):
+        batch = b.div("u32", gid, per_image)
+        rem0 = b.rem("u32", gid, per_image)
+        ic = b.div("u32", rem0, hw)
+        rem1 = b.rem("u32", rem0, hw)
+        iy = b.div("u32", rem1, win)
+        ix = b.rem("u32", rem1, win)
+
+        acc = b.mov("f32", Immediate(0.0))
+        with b.loop(cout) as oc:
+            w_chan = b.mul("u32", b.mad_lo("u32", oc, cin, ic), kh)
+            dy_chan = b.mul("u32", b.mad_lo("u32", batch, cout, oc), oh)
+            with b.loop(kh) as ky:
+                oy = b.sub("s32", iy, ky)
+                oy_ok_low = b.setp("ge", "s32", oy, Immediate(0))
+                oy_ok_high = b.setp("lt", "s32", oy, oh)
+                skip_row = b.fresh_label("row")
+                b.bra(skip_row, guard_reg=oy_ok_low, negated=True)
+                b.bra(skip_row, guard_reg=oy_ok_high, negated=True)
+                w_row = b.mul("u32", b.add("u32", w_chan, ky), kw)
+                dy_row = b.mul("u32", b.add("u32", dy_chan, oy), ow)
+                with b.loop(kw) as kx:
+                    ox = b.sub("s32", ix, kx)
+                    ox_ok_low = b.setp("ge", "s32", ox, Immediate(0))
+                    ox_ok_high = b.setp("lt", "s32", ox, ow)
+                    skip_col = b.fresh_label("col")
+                    b.bra(skip_col, guard_reg=ox_ok_low, negated=True)
+                    b.bra(skip_col, guard_reg=ox_ok_high, negated=True)
+                    w_index = b.add("u32", w_row, kx)
+                    dy_index = b.add("u32", dy_row, ox)
+                    wv = b.ld_global("f32", b.element_addr(w, w_index, 4))
+                    gv = b.ld_global("f32", b.element_addr(dy, dy_index, 4))
+                    updated = b.fma("f32", wv, gv, acc)
+                    b.emit("mov.f32", acc, updated)
+                    b.label(skip_col)
+                b.label(skip_row)
+        b.st_global("f32", b.element_addr(dx, gid, 4), acc)
+    return b.build()
+
+
+def bias_grad_kernel() -> Kernel:
+    """dB[oc] = sum over (batch, oy, ox) of dy[b, oc, oy, ox]."""
+    b = KernelBuilder("cudnn_bias_grad", params=[
+        ("db", "u64"), ("dy", "u64"),
+        ("n", "u32"), ("cout", "u32"), ("per_chan", "u32"),
+    ])
+    db = b.load_param_ptr("db")
+    dy = b.load_param_ptr("dy")
+    n = b.load_param("n", "u32")
+    cout = b.load_param("cout", "u32")
+    per_chan = b.load_param("per_chan", "u32")
+    oc = b.global_thread_id()
+    with b.if_less_than(oc, cout):
+        acc = b.mov("f32", Immediate(0.0))
+        with b.loop(n) as batch:
+            base = b.mul("u32", b.mad_lo("u32", batch, cout, oc), per_chan)
+            with b.loop(per_chan) as elem:
+                index = b.add("u32", base, elem)
+                value = b.ld_global("f32", b.element_addr(dy, index, 4))
+                updated = b.add("f32", acc, value)
+                b.emit("mov.f32", acc, updated)
+        b.st_global("f32", b.element_addr(db, oc, 4), acc)
+    return b.build()
+
+
+def maxpool_fwd_kernel() -> Kernel:
+    """Non-overlapping PxP max pooling; records argmax for backward."""
+    b = KernelBuilder("cudnn_maxpool_fwd", params=[
+        ("y", "u64"), ("idx", "u64"), ("x", "u64"),
+        ("nc", "u32"), ("h", "u32"), ("win", "u32"), ("p", "u32"),
+    ])
+    y = b.load_param_ptr("y")
+    idx = b.load_param_ptr("idx")
+    x = b.load_param_ptr("x")
+    nc = b.load_param("nc", "u32")     # n * channels, fused
+    h = b.load_param("h", "u32")
+    win = b.load_param("win", "u32")
+    p = b.load_param("p", "u32")
+
+    gid = b.global_thread_id()
+    oh = b.div("u32", h, p)
+    ow = b.div("u32", win, p)
+    ohw = b.mul("u32", oh, ow)
+    total = b.mul("u32", nc, ohw)
+    with b.if_less_than(gid, total):
+        chan = b.div("u32", gid, ohw)
+        rem0 = b.rem("u32", gid, ohw)
+        oy = b.div("u32", rem0, ow)
+        ox = b.rem("u32", rem0, ow)
+        chan_base = b.mul("u32", chan, b.mul("u32", h, win))
+
+        best = b.mov("f32", Immediate(-3.0e38))
+        best_index = b.mov("u32", Immediate(0))
+        with b.loop(p) as py:
+            iy = b.mad_lo("u32", oy, p, py)
+            row = b.add("u32", chan_base, b.mul("u32", iy, win))
+            with b.loop(p) as px:
+                ix = b.mad_lo("u32", ox, p, px)
+                index = b.add("u32", row, ix)
+                value = b.ld_global("f32", b.element_addr(x, index, 4))
+                better = b.setp("gt", "f32", value, best)
+                new_best = b.reg("f32")
+                b.emit("selp.f32", new_best, value, best, better)
+                b.emit("mov.f32", best, new_best)
+                new_index = b.reg("b32")
+                b.emit("selp.b32", new_index, index, best_index, better)
+                b.emit("mov.u32", best_index, new_index)
+        b.st_global("f32", b.element_addr(y, gid, 4), best)
+        b.st_global("b32", b.element_addr(idx, gid, 4), best_index)
+    return b.build()
+
+
+def maxpool_bwd_kernel() -> Kernel:
+    """Scatter pooled gradients back (pools don't overlap, so a plain
+    store into the recorded argmax position is exact); dX pre-zeroed."""
+    b = KernelBuilder("cudnn_maxpool_bwd", params=[
+        ("dx", "u64"), ("dy", "u64"), ("idx", "u64"), ("n_out", "u32"),
+    ])
+    dx = b.load_param_ptr("dx")
+    dy = b.load_param_ptr("dy")
+    idx = b.load_param_ptr("idx")
+    n_out = b.load_param("n_out", "u32")
+    gid = b.global_thread_id()
+    with b.if_less_than(gid, n_out):
+        grad = b.ld_global("f32", b.element_addr(dy, gid, 4))
+        target = b.ld_global("b32", b.element_addr(idx, gid, 4))
+        b.st_global("f32", b.element_addr(dx, target, 4), grad)
+    return b.build()
+
+
+def relu_fwd_kernel() -> Kernel:
+    b = KernelBuilder("cudnn_relu_fwd", params=[
+        ("y", "u64"), ("x", "u64"), ("n", "u32"),
+    ])
+    y = b.load_param_ptr("y")
+    x = b.load_param_ptr("x")
+    n = b.load_param("n", "u32")
+    gid = b.global_thread_id()
+    with b.if_less_than(gid, n):
+        value = b.ld_global("f32", b.element_addr(x, gid, 4))
+        zero = b.mov("f32", Immediate(0.0))
+        b.st_global("f32", b.element_addr(y, gid, 4),
+                    b.max_("f32", value, zero))
+    return b.build()
+
+
+def relu_bwd_kernel() -> Kernel:
+    """dx = dy where y > 0 else 0."""
+    b = KernelBuilder("cudnn_relu_bwd", params=[
+        ("dx", "u64"), ("dy", "u64"), ("y", "u64"), ("n", "u32"),
+    ])
+    dx = b.load_param_ptr("dx")
+    dy = b.load_param_ptr("dy")
+    y = b.load_param_ptr("y")
+    n = b.load_param("n", "u32")
+    gid = b.global_thread_id()
+    with b.if_less_than(gid, n):
+        activated = b.ld_global("f32", b.element_addr(y, gid, 4))
+        grad = b.ld_global("f32", b.element_addr(dy, gid, 4))
+        positive = b.setp("gt", "f32", activated, Immediate(0.0))
+        result = b.reg("f32")
+        zero = b.mov("f32", Immediate(0.0))
+        b.emit("selp.f32", result, grad, zero, positive)
+        b.st_global("f32", b.element_addr(dx, gid, 4), result)
+    return b.build()
+
+
+def tanh_fwd_kernel() -> Kernel:
+    b = KernelBuilder("cudnn_tanh_fwd", params=[
+        ("y", "u64"), ("x", "u64"), ("n", "u32"),
+    ])
+    y = b.load_param_ptr("y")
+    x = b.load_param_ptr("x")
+    n = b.load_param("n", "u32")
+    gid = b.global_thread_id()
+    with b.if_less_than(gid, n):
+        value = b.ld_global("f32", b.element_addr(x, gid, 4))
+        b.st_global("f32", b.element_addr(y, gid, 4),
+                    b.unary("tanh", "f32", value))
+    return b.build()
+
+
+def add_bias_kernel() -> Kernel:
+    """y[r, c] += bias[c] over a (rows x cols) row-major matrix."""
+    b = KernelBuilder("cudnn_add_bias", params=[
+        ("y", "u64"), ("bias", "u64"), ("rows", "u32"), ("cols", "u32"),
+    ])
+    y = b.load_param_ptr("y")
+    bias = b.load_param_ptr("bias")
+    rows = b.load_param("rows", "u32")
+    cols = b.load_param("cols", "u32")
+    gid = b.global_thread_id()
+    total = b.mul("u32", rows, cols)
+    with b.if_less_than(gid, total):
+        col = b.rem("u32", gid, cols)
+        bias_val = b.ld_global("f32", b.element_addr(bias, col, 4))
+        addr = b.element_addr(y, gid, 4)
+        b.st_global("f32", addr,
+                    b.add("f32", b.ld_global("f32", addr), bias_val))
+    return b.build()
+
+
+def softmax_xent_kernel() -> Kernel:
+    """Fused row-wise softmax + cross-entropy forward/backward.
+
+    One thread per row: writes probabilities, the per-row loss, and the
+    input gradient (probs - onehot) * scale. exp/log go through the SFU
+    (ex2/lg2), as real kernels do.
+    """
+    b = KernelBuilder("cudnn_softmax_xent", params=[
+        ("probs", "u64"), ("loss", "u64"), ("dx", "u64"),
+        ("x", "u64"), ("labels", "u64"),
+        ("rows", "u32"), ("cols", "u32"), ("scale", "f32"),
+    ])
+    probs = b.load_param_ptr("probs")
+    loss = b.load_param_ptr("loss")
+    dx = b.load_param_ptr("dx")
+    x = b.load_param_ptr("x")
+    labels = b.load_param_ptr("labels")
+    rows = b.load_param("rows", "u32")
+    cols = b.load_param("cols", "u32")
+    scale = b.load_param("scale", "f32")
+
+    log2e = 1.4426950408889634
+
+    row = b.global_thread_id()
+    with b.if_less_than(row, rows):
+        base = b.mul("u32", row, cols)
+        # Pass 1: row max.
+        top = b.mov("f32", Immediate(-3.0e38))
+        with b.loop(cols) as j:
+            value = b.ld_global(
+                "f32", b.element_addr(x, b.add("u32", base, j), 4))
+            updated = b.max_("f32", top, value)
+            b.emit("mov.f32", top, updated)
+        # Pass 2: exponentials and their sum.
+        total = b.mov("f32", Immediate(0.0))
+        with b.loop(cols) as j:
+            index = b.add("u32", base, j)
+            value = b.ld_global("f32", b.element_addr(x, index, 4))
+            shifted = b.sub("f32", value, top)
+            exponent = b.mul("f32", shifted, Immediate(log2e))
+            e = b.unary("ex2", "f32", exponent)
+            b.st_global("f32", b.element_addr(probs, index, 4), e)
+            updated = b.add("f32", total, e)
+            b.emit("mov.f32", total, updated)
+        # Pass 3: normalise, gradient, loss.
+        label = b.ld_global("b32", b.element_addr(labels, row, 4))
+        inv_total = b.unary("rcp", "f32", total)
+        with b.loop(cols) as j:
+            index = b.add("u32", base, j)
+            prob_addr = b.element_addr(probs, index, 4)
+            p = b.mul("f32", b.ld_global("f32", prob_addr), inv_total)
+            b.st_global("f32", prob_addr, p)
+            is_label = b.setp("eq", "u32", j, label)
+            one = b.mov("f32", Immediate(1.0))
+            zero = b.mov("f32", Immediate(0.0))
+            onehot = b.reg("f32")
+            b.emit("selp.f32", onehot, one, zero, is_label)
+            grad = b.mul("f32", b.sub("f32", p, onehot), scale)
+            b.st_global("f32", b.element_addr(dx, index, 4), grad)
+        # loss = log(sum) - (x[label] - max); log(s) = lg2(s) / log2(e)
+        label_index = b.add("u32", base, label)
+        label_logit = b.ld_global(
+            "f32", b.element_addr(x, label_index, 4))
+        log_sum = b.div("f32", b.unary("lg2", "f32", total),
+                        Immediate(log2e))
+        row_loss = b.sub("f32", log_sum, b.sub("f32", label_logit, top))
+        b.st_global("f32", b.element_addr(loss, row, 4), row_loss)
+    return b.build()
+
+
+def sgd_update_kernel() -> Kernel:
+    """w[i] -= lr * g[i]"""
+    b = KernelBuilder("cudnn_sgd_update", params=[
+        ("w", "u64"), ("g", "u64"), ("lr", "f32"), ("n", "u32"),
+    ])
+    w = b.load_param_ptr("w")
+    g = b.load_param_ptr("g")
+    lr = b.load_param("lr", "f32")
+    n = b.load_param("n", "u32")
+    gid = b.global_thread_id()
+    with b.if_less_than(gid, n):
+        w_addr = b.element_addr(w, gid, 4)
+        grad = b.ld_global("f32", b.element_addr(g, gid, 4))
+        step = b.mul("f32", grad, lr)
+        b.st_global("f32", w_addr,
+                    b.sub("f32", b.ld_global("f32", w_addr), step))
+    return b.build()
+
+
+def add_kernel() -> Kernel:
+    """z[i] = x[i] + y[i] (residual connections, RNN state updates)."""
+    b = KernelBuilder("cudnn_add", params=[
+        ("z", "u64"), ("x", "u64"), ("y", "u64"), ("n", "u32"),
+    ])
+    z = b.load_param_ptr("z")
+    x = b.load_param_ptr("x")
+    y = b.load_param_ptr("y")
+    n = b.load_param("n", "u32")
+    gid = b.global_thread_id()
+    with b.if_less_than(gid, n):
+        xv = b.ld_global("f32", b.element_addr(x, gid, 4))
+        yv = b.ld_global("f32", b.element_addr(y, gid, 4))
+        b.st_global("f32", b.element_addr(z, gid, 4), b.add("f32", xv, yv))
+    return b.build()
+
+
+def fill_kernel() -> Kernel:
+    """x[i] = value (device-side initialisation)."""
+    b = KernelBuilder("cudnn_fill", params=[
+        ("x", "u64"), ("value", "f32"), ("n", "u32"),
+    ])
+    x = b.load_param_ptr("x")
+    value = b.load_param("value", "f32")
+    n = b.load_param("n", "u32")
+    gid = b.global_thread_id()
+    with b.if_less_than(gid, n):
+        b.st_global("f32", b.element_addr(x, gid, 4), value)
+    return b.build()
+
+
+def helper_func() -> Kernel:
+    """A ``.func`` device helper (clamp), present so the library's
+    fatbin carries non-entry functions — the paper's patcher must
+    instrument ``.func`` bodies identically (§4.3, Table 3)."""
+    b = KernelBuilder("cudnn_clamp_helper", params=[
+        ("out", "u64"), ("x", "f32"), ("lo", "f32"), ("hi", "f32"),
+    ], is_entry=False)
+    out = b.load_param("out", "u64")
+    x = b.load_param("x", "f32")
+    lo = b.load_param("lo", "f32")
+    hi = b.load_param("hi", "f32")
+    clamped = b.min_("f32", b.max_("f32", x, lo), hi)
+    b.st_global("f32", out, clamped)
+    return b.build()
+
+
+def all_kernels() -> list[Kernel]:
+    return [
+        conv2d_forward_kernel(),
+        conv2d_bwd_filter_kernel(),
+        conv2d_bwd_data_kernel(),
+        bias_grad_kernel(),
+        maxpool_fwd_kernel(),
+        maxpool_bwd_kernel(),
+        relu_fwd_kernel(),
+        relu_bwd_kernel(),
+        tanh_fwd_kernel(),
+        add_bias_kernel(),
+        softmax_xent_kernel(),
+        sgd_update_kernel(),
+        add_kernel(),
+        fill_kernel(),
+        helper_func(),
+    ]

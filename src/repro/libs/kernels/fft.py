@@ -1,0 +1,96 @@
+"""cuFFT-style device kernels (PTX builders).
+
+A direct O(n^2) DFT — one thread per output bin, SFU sin/cos per term.
+Real cuFFT uses radix decompositions, but the *interception surface*
+(fatbin kernels + implicit scratch management on the host side) is what
+matters for Guardian; the naive kernel exercises the same paths with a
+dense, SFU-heavy instruction mix that stresses the cost model
+differently from the BLAS/DNN kernels.
+"""
+
+from __future__ import annotations
+
+from repro.ptx.ast import Immediate, Kernel
+from repro.ptx.builder import KernelBuilder
+
+_TWO_PI = 6.283185307179586
+
+
+def dft_kernel() -> Kernel:
+    """out[k] = sum_j in[j] * exp(sign * 2*pi*i * k * j / n).
+
+    Interleaved complex buffers (re, im pairs); ``sign`` is -1 for the
+    forward transform, +1 for the inverse (unnormalised).
+    """
+    b = KernelBuilder("cufft_dft", params=[
+        ("out", "u64"), ("inp", "u64"), ("n", "u32"), ("sign", "f32"),
+    ])
+    out = b.load_param_ptr("out")
+    inp = b.load_param_ptr("inp")
+    n = b.load_param("n", "u32")
+    sign = b.load_param("sign", "f32")
+    k = b.global_thread_id()
+    with b.if_less_than(k, n):
+        n_float = b.cvt("f32", "u32", n)
+        k_float = b.cvt("f32", "u32", k)
+        step = b.div(
+            "f32",
+            b.mul("f32", b.mul("f32", sign, Immediate(_TWO_PI)), k_float),
+            n_float,
+        )
+        acc_re = b.mov("f32", Immediate(0.0))
+        acc_im = b.mov("f32", Immediate(0.0))
+        with b.loop(n) as j:
+            angle = b.mul("f32", step, b.cvt("f32", "u32", j))
+            cos_a = b.unary("cos", "f32", angle)
+            sin_a = b.unary("sin", "f32", angle)
+            re_index = b.mul("u32", j, Immediate(2))
+            re = b.ld_global("f32", b.element_addr(inp, re_index, 4))
+            im_index = b.add("u32", re_index, Immediate(1))
+            im = b.ld_global("f32", b.element_addr(inp, im_index, 4))
+            # (re + i*im) * (cos + i*sin)
+            new_re = b.fma("f32", re, cos_a, acc_re)
+            new_re = b.fma("f32", b.mul("f32", im, Immediate(-1.0)),
+                           sin_a, new_re)
+            b.emit("mov.f32", acc_re, new_re)
+            new_im = b.fma("f32", re, sin_a, acc_im)
+            new_im = b.fma("f32", im, cos_a, new_im)
+            b.emit("mov.f32", acc_im, new_im)
+        out_re = b.mul("u32", k, Immediate(2))
+        b.st_global("f32", b.element_addr(out, out_re, 4), acc_re)
+        out_im = b.add("u32", out_re, Immediate(1))
+        b.st_global("f32", b.element_addr(out, out_im, 4), acc_im)
+    return b.build()
+
+
+def scale_complex_kernel() -> Kernel:
+    """Scale an interleaved complex buffer (the 1/n of an inverse)."""
+    b = KernelBuilder("cufft_scale", params=[
+        ("buf", "u64"), ("factor", "f32"), ("n2", "u32"),
+    ])
+    buf = b.load_param_ptr("buf")
+    factor = b.load_param("factor", "f32")
+    n2 = b.load_param("n2", "u32")
+    gid = b.global_thread_id()
+    with b.if_less_than(gid, n2):
+        addr = b.element_addr(buf, gid, 4)
+        b.st_global("f32", addr,
+                    b.mul("f32", b.ld_global("f32", addr), factor))
+    return b.build()
+
+
+def twiddle_func() -> Kernel:
+    """A non-entry ``.func`` twiddle helper (census realism)."""
+    b = KernelBuilder("cufft_twiddle_helper", params=[
+        ("out", "u64"), ("angle", "f32"),
+    ], is_entry=False)
+    out = b.load_param("out", "u64")
+    angle = b.load_param("angle", "f32")
+    b.st_global("f32", out, b.unary("cos", "f32", angle))
+    cos_addr = b.add("u64", out, Immediate(4))
+    b.st_global("f32", cos_addr, b.unary("sin", "f32", angle))
+    return b.build()
+
+
+def all_kernels() -> list[Kernel]:
+    return [dft_kernel(), scale_complex_kernel(), twiddle_func()]

@@ -1,0 +1,85 @@
+"""cuRAND-style device kernels (PTX builders).
+
+Counter-based generation (each thread hashes its index with the seed,
+SplitMix64-style) so fills are reproducible and order-independent —
+the same design as cuRAND's Philox generators. Normal variates come
+from Box-Muller through the SFU (sin/cos/sqrt/lg2).
+"""
+
+from __future__ import annotations
+
+from repro.ptx.ast import Immediate, Kernel, Register
+from repro.ptx.builder import KernelBuilder
+
+_TWO_PI = 6.283185307179586
+_LOG2E = 1.4426950408889634
+
+
+def _splitmix(b: KernelBuilder, gid: Register, seed: Register) -> Register:
+    """64-bit SplitMix-style hash of (seed + gid); returns u64."""
+    z = b.add("u64", seed, b.cvt("u64", "u32", gid))
+    z = b.add("u64", z, Immediate(0x9E3779B97F4A7C15))
+    t = b.xor("b64", z, b.shr("u64", z, Immediate(30)))
+    t = b.mul("u64", t, Immediate(0xBF58476D1CE4E5B9))
+    t = b.xor("b64", t, b.shr("u64", t, Immediate(27)))
+    t = b.mul("u64", t, Immediate(0x94D049BB133111EB))
+    return b.xor("b64", t, b.shr("u64", t, Immediate(31)))
+
+
+def _to_unit_float(b: KernelBuilder, bits: Register) -> Register:
+    """Map the top 24 bits of a u64 hash onto [0, 1)."""
+    top = b.shr("u64", bits, Immediate(40))
+    as_f32 = b.cvt("f32", "u64", top)
+    return b.mul("f32", as_f32, Immediate(1.0 / float(1 << 24)))
+
+
+def uniform_kernel() -> Kernel:
+    """x[i] = uniform[0,1) from hash(seed, i)."""
+    b = KernelBuilder("curand_uniform", params=[
+        ("x", "u64"), ("seed", "u64"), ("n", "u32"),
+    ])
+    x = b.load_param_ptr("x")
+    seed = b.load_param("seed", "u64")
+    n = b.load_param("n", "u32")
+    gid = b.global_thread_id()
+    with b.if_less_than(gid, n):
+        bits = _splitmix(b, gid, seed)
+        b.st_global("f32", b.element_addr(x, gid, 4),
+                    _to_unit_float(b, bits))
+    return b.build()
+
+
+def normal_kernel() -> Kernel:
+    """x[i] = N(mu, sigma) via Box-Muller on two hashed uniforms."""
+    b = KernelBuilder("curand_normal", params=[
+        ("x", "u64"), ("seed", "u64"), ("mu", "f32"), ("sigma", "f32"),
+        ("n", "u32"),
+    ])
+    x = b.load_param_ptr("x")
+    seed = b.load_param("seed", "u64")
+    mu = b.load_param("mu", "f32")
+    sigma = b.load_param("sigma", "f32")
+    n = b.load_param("n", "u32")
+    gid = b.global_thread_id()
+    with b.if_less_than(gid, n):
+        bits = _splitmix(b, gid, seed)
+        u1 = _to_unit_float(b, bits)
+        # Second stream: reuse low bits of the same hash.
+        low = b.and_("b64", bits, Immediate((1 << 24) - 1))
+        u2 = b.mul("f32", b.cvt("f32", "u64", low),
+                   Immediate(1.0 / float(1 << 24)))
+        # Guard against log(0).
+        u1 = b.max_("f32", u1, Immediate(1e-7))
+        # ln(u1) = lg2(u1) / log2(e)
+        ln_u1 = b.div("f32", b.unary("lg2", "f32", u1), Immediate(_LOG2E))
+        radius = b.unary(
+            "sqrt", "f32", b.mul("f32", ln_u1, Immediate(-2.0)))
+        angle = b.mul("f32", u2, Immediate(_TWO_PI))
+        standard = b.mul("f32", radius, b.unary("cos", "f32", angle))
+        b.st_global("f32", b.element_addr(x, gid, 4),
+                    b.fma("f32", standard, sigma, mu))
+    return b.build()
+
+
+def all_kernels() -> list[Kernel]:
+    return [uniform_kernel(), normal_kernel()]

@@ -1,0 +1,383 @@
+"""Programmatic PTX construction.
+
+The simulated "closed-source" accelerated libraries
+(:mod:`repro.libs`) author their device kernels with this builder, the
+same way NVIDIA authors cuBLAS kernels with an internal toolchain: the
+result is a plain PTX module — *no* host-visible source — which is then
+embedded into a fatbin. Guardian's patcher only ever sees the emitted
+PTX text, preserving the paper's closed-source constraint.
+
+Example::
+
+    b = KernelBuilder("saxpy", params=[("out", "u64"), ("x", "u64"),
+                                       ("a", "f32"), ("n", "u32")])
+    out = b.load_param_ptr("out")
+    x = b.load_param_ptr("x")
+    a = b.load_param("a", "f32")
+    n = b.load_param("n", "u32")
+    gid = b.global_thread_id()
+    with b.if_less_than(gid, n):
+        addr_x = b.element_addr(x, gid, 4)
+        value = b.ld_global("f32", addr_x)
+        scaled = b.mul("f32", value, a)
+        addr_o = b.element_addr(out, gid, 4)
+        b.st_global("f32", addr_o, scaled)
+    kernel = b.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Optional, Union
+
+from repro.ptx import isa
+from repro.ptx.ast import (
+    Guard,
+    Immediate,
+    Instruction,
+    Kernel,
+    Label,
+    MemRef,
+    Module,
+    Operand,
+    Param,
+    RegDecl,
+    Register,
+    SharedDecl,
+    SpecialReg,
+    Symbol,
+    TargetList,
+)
+
+#: Register-bank prefix per scalar type, matching nvcc's conventions.
+_PREFIXES = {
+    "pred": "%p",
+    "b16": "%rs", "u16": "%rs", "s16": "%rs",
+    "b32": "%r", "u32": "%r", "s32": "%r",
+    "b64": "%rd", "u64": "%rd", "s64": "%rd",
+    "f32": "%f",
+    "f64": "%fd",
+}
+
+#: Storage type backing each register bank (what the RegDecl declares).
+_BANK_TYPES = {"%p": "pred", "%rs": "b16", "%r": "b32", "%rd": "b64",
+               "%f": "f32", "%fd": "f64"}
+
+Value = Union[Register, Immediate, int, float]
+
+
+def _as_operand(value: Value) -> Operand:
+    if isinstance(value, (Register, Immediate, SpecialReg, Symbol)):
+        return value
+    if isinstance(value, (int, float)):
+        return Immediate(value)
+    raise TypeError(f"cannot use {value!r} as an operand")
+
+
+class KernelBuilder:
+    """Builds one kernel (``.entry``) or device function (``.func``)."""
+
+    def __init__(
+        self,
+        name: str,
+        params: list[tuple[str, str]],
+        is_entry: bool = True,
+        param_prefix: Optional[str] = None,
+    ):
+        prefix = param_prefix if param_prefix is not None else f"{name}_param"
+        self.name = name
+        self.is_entry = is_entry
+        self.params = [
+            Param(name=f"{prefix}_{pname}" if prefix else pname,
+                  param_type=ptype)
+            for pname, ptype in params
+        ]
+        self._param_by_short = {
+            pname: param for (pname, _), param in zip(params, self.params)
+        }
+        self._counters: dict[str, int] = {}
+        self._body: list = []
+        self._label_counter = 0
+        self._shared: list[SharedDecl] = []
+
+    # -- registers and labels ----------------------------------------------
+
+    def reg(self, reg_type: str) -> Register:
+        """Allocate a fresh virtual register for ``reg_type``."""
+        prefix = _PREFIXES[reg_type]
+        index = self._counters.get(prefix, 0) + 1
+        self._counters[prefix] = index
+        return Register(f"{prefix}{index}")
+
+    def fresh_label(self, hint: str = "L") -> str:
+        self._label_counter += 1
+        return f"$L__{hint}_{self._label_counter}"
+
+    def label(self, name: str) -> None:
+        self._body.append(Label(name))
+
+    def emit(self, opcode: str, *operands: Operand,
+             guard: Optional[Guard] = None) -> None:
+        """Append a raw instruction."""
+        self._body.append(
+            Instruction(opcode=opcode, operands=tuple(operands), guard=guard)
+        )
+
+    def shared_array(self, name: str, elem_type: str,
+                     num_elems: int) -> Symbol:
+        """Declare a shared-memory array and return its symbol."""
+        decl = SharedDecl(
+            name=name,
+            elem_type=elem_type,
+            size_bytes=num_elems * isa.type_width(elem_type),
+            align=isa.type_width(elem_type),
+        )
+        self._shared.append(decl)
+        return Symbol(name)
+
+    # -- parameters ----------------------------------------------------------
+
+    def load_param(self, short_name: str, ptype: str) -> Register:
+        """``ld.param`` a scalar parameter into a fresh register."""
+        param = self._param_by_short[short_name]
+        dest = self.reg(ptype)
+        self.emit(f"ld.param.{ptype}", dest, MemRef(Symbol(param.name)))
+        return dest
+
+    def load_param_ptr(self, short_name: str) -> Register:
+        """Load a pointer parameter and convert it to the global space.
+
+        Mirrors nvcc's standard prologue: ``ld.param.u64`` followed by
+        ``cvta.to.global.u64``.
+        """
+        raw = self.load_param(short_name, "u64")
+        dest = self.reg("u64")
+        self.emit("cvta.to.global.u64", dest, raw)
+        return dest
+
+    # -- thread indexing -------------------------------------------------------
+
+    def special(self, name: str) -> Register:
+        """Copy a special register (``%tid.x``...) into a fresh b32."""
+        dest = self.reg("u32")
+        self.emit("mov.u32", dest, SpecialReg(name))
+        return dest
+
+    def global_thread_id(self) -> Register:
+        """Compute ``ctaid.x * ntid.x + tid.x``."""
+        ctaid = self.special("%ctaid.x")
+        ntid = self.special("%ntid.x")
+        tid = self.special("%tid.x")
+        dest = self.reg("u32")
+        self.emit("mad.lo.s32", dest, ctaid, ntid, tid)
+        return dest
+
+    # -- arithmetic -------------------------------------------------------------
+
+    def _binary(self, opcode: str, reg_type: str, a: Value,
+                b: Value) -> Register:
+        dest = self.reg(reg_type)
+        self.emit(opcode, dest, _as_operand(a), _as_operand(b))
+        return dest
+
+    def add(self, dtype: str, a: Value, b: Value) -> Register:
+        return self._binary(f"add.{dtype}", dtype, a, b)
+
+    def sub(self, dtype: str, a: Value, b: Value) -> Register:
+        return self._binary(f"sub.{dtype}", dtype, a, b)
+
+    def mul(self, dtype: str, a: Value, b: Value) -> Register:
+        opcode = f"mul.{dtype}" if isa.is_float(dtype) else f"mul.lo.{dtype}"
+        return self._binary(opcode, dtype, a, b)
+
+    def mul_wide(self, narrow_type: str, a: Value, b: Value) -> Register:
+        """32x32 -> 64-bit multiply, the idiom for index scaling."""
+        wide = "u64" if not isa.is_signed(narrow_type) else "s64"
+        dest = self.reg(wide)
+        self.emit(f"mul.wide.{narrow_type}", dest, _as_operand(a),
+                  _as_operand(b))
+        return dest
+
+    def mad_lo(self, dtype: str, a: Value, b: Value, c: Value) -> Register:
+        dest = self.reg(dtype)
+        self.emit(f"mad.lo.{dtype}", dest, _as_operand(a), _as_operand(b),
+                  _as_operand(c))
+        return dest
+
+    def fma(self, dtype: str, a: Value, b: Value, c: Value) -> Register:
+        dest = self.reg(dtype)
+        self.emit(f"fma.rn.{dtype}", dest, _as_operand(a), _as_operand(b),
+                  _as_operand(c))
+        return dest
+
+    def div(self, dtype: str, a: Value, b: Value) -> Register:
+        opcode = f"div.rn.{dtype}" if isa.is_float(dtype) else f"div.{dtype}"
+        return self._binary(opcode, dtype, a, b)
+
+    def rem(self, dtype: str, a: Value, b: Value) -> Register:
+        return self._binary(f"rem.{dtype}", dtype, a, b)
+
+    def and_(self, dtype: str, a: Value, b: Value) -> Register:
+        return self._binary(f"and.{dtype}", dtype, a, b)
+
+    def or_(self, dtype: str, a: Value, b: Value) -> Register:
+        return self._binary(f"or.{dtype}", dtype, a, b)
+
+    def xor(self, dtype: str, a: Value, b: Value) -> Register:
+        return self._binary(f"xor.{dtype}", dtype, a, b)
+
+    def shl(self, dtype: str, a: Value, amount: Value) -> Register:
+        return self._binary(f"shl.{dtype}", dtype, a, amount)
+
+    def shr(self, dtype: str, a: Value, amount: Value) -> Register:
+        return self._binary(f"shr.{dtype}", dtype, a, amount)
+
+    def min_(self, dtype: str, a: Value, b: Value) -> Register:
+        return self._binary(f"min.{dtype}", dtype, a, b)
+
+    def max_(self, dtype: str, a: Value, b: Value) -> Register:
+        return self._binary(f"max.{dtype}", dtype, a, b)
+
+    def mov(self, dtype: str, value: Value) -> Register:
+        dest = self.reg(dtype)
+        self.emit(f"mov.{dtype}", dest, _as_operand(value))
+        return dest
+
+    def cvt(self, to_type: str, from_type: str, value: Value) -> Register:
+        dest = self.reg(to_type)
+        opcode = f"cvt.{to_type}.{from_type}"
+        if isa.is_float(to_type) != isa.is_float(from_type):
+            opcode = f"cvt.rn.{to_type}.{from_type}"
+        self.emit(opcode, dest, _as_operand(value))
+        return dest
+
+    def unary(self, opcode: str, dtype: str, value: Value) -> Register:
+        """SFU-style unary op: sqrt/ex2/lg2/sin/cos/rcp/tanh/neg/abs."""
+        dest = self.reg(dtype)
+        full = f"{opcode}.approx.{dtype}" if opcode in (
+            "sqrt", "rsqrt", "rcp", "ex2", "lg2", "sin", "cos", "tanh"
+        ) else f"{opcode}.{dtype}"
+        self.emit(full, dest, _as_operand(value))
+        return dest
+
+    # -- memory ---------------------------------------------------------------
+
+    def element_addr(self, base: Register, index: Value,
+                     elem_size: int) -> Register:
+        """Compute ``base + index * elem_size`` as a 64-bit address."""
+        scaled = self.mul_wide("u32", index, Immediate(elem_size))
+        return self.add("s64", base, scaled)
+
+    def ld_global(self, dtype: str, address: Register,
+                  offset: int = 0) -> Register:
+        dest = self.reg(dtype)
+        self.emit(f"ld.global.{dtype}", dest, MemRef(address, offset))
+        return dest
+
+    def st_global(self, dtype: str, address: Register, value: Value,
+                  offset: int = 0) -> None:
+        self.emit(f"st.global.{dtype}", MemRef(address, offset),
+                  _as_operand(value))
+
+    def ld_shared(self, dtype: str, address: Register,
+                  offset: int = 0) -> Register:
+        dest = self.reg(dtype)
+        self.emit(f"ld.shared.{dtype}", dest, MemRef(address, offset))
+        return dest
+
+    def st_shared(self, dtype: str, address: Register, value: Value,
+                  offset: int = 0) -> None:
+        self.emit(f"st.shared.{dtype}", MemRef(address, offset),
+                  _as_operand(value))
+
+    def atom_add_global(self, dtype: str, address: Register,
+                        value: Value) -> Register:
+        dest = self.reg(dtype)
+        self.emit(f"atom.global.add.{dtype}", dest, MemRef(address),
+                  _as_operand(value))
+        return dest
+
+    def barrier(self) -> None:
+        self.emit("bar.sync", Immediate(0))
+
+    # -- control flow -----------------------------------------------------------
+
+    def setp(self, compare: str, dtype: str, a: Value, b: Value) -> Register:
+        pred = self.reg("pred")
+        self.emit(f"setp.{compare}.{dtype}", pred, _as_operand(a),
+                  _as_operand(b))
+        return pred
+
+    def bra(self, label: str, guard_reg: Optional[Register] = None,
+            negated: bool = False) -> None:
+        guard = None
+        if guard_reg is not None:
+            guard = Guard(register=guard_reg.name, negated=negated)
+        self.emit("bra", Symbol(label), guard=guard)
+
+    def brx_idx(self, index: Register, labels: list[str]) -> None:
+        """Indirect branch — the construct the threat model calls unsafe."""
+        self.emit("brx.idx", index, TargetList(tuple(labels)))
+
+    def ret(self) -> None:
+        self.emit("ret")
+
+    @contextlib.contextmanager
+    def if_less_than(self, value: Register, bound: Value, dtype: str = "u32"):
+        """Guard a block with ``if (value < bound)`` (the grid-stride
+        boundary check every CUDA kernel opens with)."""
+        skip = self.fresh_label("skip")
+        pred = self.setp("ge", dtype, value, bound)
+        self.bra(skip, guard_reg=pred)
+        yield
+        self.label(skip)
+
+    @contextlib.contextmanager
+    def loop(self, count: Value, dtype: str = "u32"):
+        """A counted loop; yields the induction-variable register."""
+        counter = self.mov(dtype, Immediate(0))
+        head = self.fresh_label("loop")
+        done = self.fresh_label("done")
+        self.label(head)
+        pred = self.setp("ge", dtype, counter, count)
+        self.bra(done, guard_reg=pred)
+        yield counter
+        incremented = self.reg(dtype)
+        self.emit(f"add.{dtype}", incremented, counter, Immediate(1))
+        self.emit(f"mov.{dtype}", counter, incremented)
+        self.bra(head)
+        self.label(done)
+
+    # -- finalisation ---------------------------------------------------------
+
+    def build(self) -> Kernel:
+        """Finalize: synthesize the ``.reg`` declarations and the
+        trailing ``ret``, and return the kernel."""
+        decls: list = []
+        for prefix, used in sorted(self._counters.items()):
+            decls.append(
+                RegDecl(reg_type=_BANK_TYPES[prefix], prefix=prefix,
+                        count=used + 1)
+            )
+        body: list = list(self._shared) + decls + self._body
+        last_instruction = next(
+            (s for s in reversed(body) if isinstance(s, Instruction)), None
+        )
+        if last_instruction is None or last_instruction.base_op not in (
+            "ret", "exit"
+        ):
+            body.append(Instruction(opcode="ret"))
+        return Kernel(
+            name=self.name,
+            params=list(self.params),
+            body=body,
+            is_entry=self.is_entry,
+        )
+
+
+def build_module(kernels: list[Kernel], target: str = "sm_86") -> Module:
+    """Assemble kernels into a module (the library's translation unit)."""
+    module = Module(target=target)
+    for kernel in kernels:
+        module.add(kernel)
+    return module

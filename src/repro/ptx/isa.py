@@ -1,0 +1,197 @@
+"""PTX instruction-set tables.
+
+The tables here describe the PTX subset the toolchain understands:
+scalar types, state spaces, opcodes and — because the GPU simulator
+charges cycles per instruction — the *latency class* of each opcode.
+
+Latency classes follow the numbers the paper uses (its §4.4 and Fig. 6,
+sourced from Arafa et al. [2] and Jia et al. [23]):
+
+- simple ALU ops (bitwise, add, mov): ~4 cycles;
+- multiply / mad: ~5 cycles;
+- 32-bit modulo/division (inline): ~28 cycles;
+- 64-bit modulo/division via function call: ~2x the 32-bit cost;
+- conditional compare+branch through the Address Divergence Unit:
+  ~80 cycles;
+- loads/stores: variable, resolved by the cache model (L1 28, L2 193,
+  global 220-350 cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# --------------------------------------------------------------------------
+# Scalar types
+# --------------------------------------------------------------------------
+
+#: Width in bytes of every scalar PTX type the subset supports.
+TYPE_WIDTHS: dict[str, int] = {
+    "pred": 1,
+    "b8": 1, "b16": 2, "b32": 4, "b64": 8,
+    "u8": 1, "u16": 2, "u32": 4, "u64": 8,
+    "s8": 1, "s16": 2, "s32": 4, "s64": 8,
+    "f16": 2, "f32": 4, "f64": 8,
+}
+
+#: Types interpreted as signed two's complement integers.
+SIGNED_TYPES = frozenset({"s8", "s16", "s32", "s64"})
+
+#: Types interpreted as unsigned integers (bit types behave unsigned).
+UNSIGNED_TYPES = frozenset({"u8", "u16", "u32", "u64", "b8", "b16", "b32", "b64"})
+
+#: IEEE floating point types.
+FLOAT_TYPES = frozenset({"f16", "f32", "f64"})
+
+
+def type_width(type_name: str) -> int:
+    """Return the width in bytes of a PTX scalar type (e.g. ``"u64"``)."""
+    try:
+        return TYPE_WIDTHS[type_name]
+    except KeyError:
+        raise KeyError(f"unknown PTX type {type_name!r}") from None
+
+
+def is_signed(type_name: str) -> bool:
+    """True when the type is a signed integer type."""
+    return type_name in SIGNED_TYPES
+
+
+def is_float(type_name: str) -> bool:
+    """True when the type is a floating point type."""
+    return type_name in FLOAT_TYPES
+
+
+# --------------------------------------------------------------------------
+# State spaces
+# --------------------------------------------------------------------------
+
+#: Memory state spaces. ``param`` is the read-only kernel parameter space;
+#: ``global``/``shared``/``local`` are the off-chip/on-chip data spaces the
+#: paper discusses in §2.3. ``generic`` addresses are produced by ``cvta``.
+STATE_SPACES = frozenset(
+    {"param", "global", "shared", "local", "const", "generic"}
+)
+
+#: Spaces that live in off-chip DRAM and are therefore shared between
+#: co-running kernels — the spaces Guardian must fence (paper §2.3).
+OFF_CHIP_SPACES = frozenset({"global", "local", "generic", "const"})
+
+
+# --------------------------------------------------------------------------
+# Opcodes
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static description of one opcode mnemonic.
+
+    Attributes:
+        name: base mnemonic (``"ld"``, ``"add"``, ...).
+        latency_class: key into :data:`LATENCY_CLASSES`.
+        is_memory: resolves an address against the memory system.
+        is_control: changes control flow.
+        has_dest: first operand is a destination register.
+    """
+
+    name: str
+    latency_class: str
+    is_memory: bool = False
+    is_control: bool = False
+    has_dest: bool = True
+
+
+#: Cycle cost of each latency class. Memory classes are placeholders —
+#: the executor defers loads/stores to the cache model.
+LATENCY_CLASSES: dict[str, int] = {
+    "alu": 4,          # bitwise / add / mov / shift / setp data path
+    "mul": 5,          # integer multiply, mad, fma
+    "sfu": 16,         # special function unit (sqrt, sin, ex2, rcp)
+    "div32": 28,       # inline 32-bit div/rem
+    "div64": 56,       # 64-bit div/rem via function call (2x the 32-bit)
+    "branch": 8,       # direct branch
+    "divergent": 80,   # predicated/conditional path through the ADU
+    "memory": 0,       # resolved by the cache model
+    "barrier": 20,     # bar.sync
+    "nop": 1,
+}
+
+
+_OPS = [
+    # memory
+    OpInfo("ld", "memory", is_memory=True),
+    OpInfo("st", "memory", is_memory=True, has_dest=False),
+    OpInfo("atom", "memory", is_memory=True),
+    # data movement / conversion
+    OpInfo("mov", "alu"),
+    OpInfo("cvta", "alu"),
+    OpInfo("cvt", "alu"),
+    OpInfo("selp", "alu"),
+    # integer & bitwise ALU
+    OpInfo("add", "alu"),
+    OpInfo("sub", "alu"),
+    OpInfo("and", "alu"),
+    OpInfo("or", "alu"),
+    OpInfo("xor", "alu"),
+    OpInfo("not", "alu"),
+    OpInfo("shl", "alu"),
+    OpInfo("shr", "alu"),
+    OpInfo("min", "alu"),
+    OpInfo("max", "alu"),
+    OpInfo("neg", "alu"),
+    OpInfo("abs", "alu"),
+    OpInfo("mul", "mul"),
+    OpInfo("mad", "mul"),
+    OpInfo("fma", "mul"),
+    OpInfo("div", "div32"),
+    OpInfo("rem", "div32"),
+    # special function unit
+    OpInfo("sqrt", "sfu"),
+    OpInfo("rsqrt", "sfu"),
+    OpInfo("rcp", "sfu"),
+    OpInfo("ex2", "sfu"),
+    OpInfo("lg2", "sfu"),
+    OpInfo("sin", "sfu"),
+    OpInfo("cos", "sfu"),
+    OpInfo("tanh", "sfu"),
+    # predicates & control
+    OpInfo("setp", "alu"),
+    OpInfo("bra", "branch", is_control=True, has_dest=False),
+    OpInfo("brx", "divergent", is_control=True, has_dest=False),
+    OpInfo("call", "branch", is_control=True, has_dest=False),
+    OpInfo("ret", "branch", is_control=True, has_dest=False),
+    OpInfo("exit", "branch", is_control=True, has_dest=False),
+    OpInfo("bar", "barrier", is_control=True, has_dest=False),
+    OpInfo("nop", "nop", has_dest=False),
+]
+
+#: Opcode table keyed by base mnemonic.
+OPCODES: dict[str, OpInfo] = {op.name: op for op in _OPS}
+
+
+#: setp comparison operators the executor implements.
+COMPARE_OPS = frozenset({"eq", "ne", "lt", "le", "gt", "ge"})
+
+#: Special (read-only) registers, per thread.
+SPECIAL_REGISTERS = frozenset(
+    {
+        "%tid.x", "%tid.y", "%tid.z",
+        "%ntid.x", "%ntid.y", "%ntid.z",
+        "%ctaid.x", "%ctaid.y", "%ctaid.z",
+        "%nctaid.x", "%nctaid.y", "%nctaid.z",
+        "%laneid", "%warpid", "%clock",
+    }
+)
+
+
+def opcode_info(mnemonic: str) -> OpInfo:
+    """Look up an opcode by its *base* mnemonic.
+
+    The base mnemonic is the part before the first ``.`` of the full
+    instruction name — ``"ld"`` for ``ld.global.u32``.
+    """
+    base = mnemonic.split(".", 1)[0]
+    try:
+        return OPCODES[base]
+    except KeyError:
+        raise KeyError(f"unknown PTX opcode {mnemonic!r}") from None

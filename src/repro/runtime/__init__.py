@@ -1,0 +1,36 @@
+"""CUDA runtime API substrate (the ``libcudart.so`` analogue).
+
+Applications and accelerated libraries program against the CUDA
+*runtime* interface; the runtime sits on the CUDA *driver* library.
+Guardian interposes exactly these two layers (paper Fig. 4):
+
+- :mod:`repro.runtime.backend` — the narrow driver-level interface that
+  both the native driver and Guardian's preloaded shim implement;
+- :mod:`repro.runtime.api` — the ``cuda*`` call surface with host-side
+  cost accounting (the CPU cycles of Table 5);
+- :mod:`repro.runtime.export_table` — the undocumented
+  ``cudaGetExportTable`` function-pointer tables that closed-source
+  libraries use and naive API-remoting systems break on (§4.1, §7.4);
+- :mod:`repro.runtime.interpose` — the ``dlopen()`` hook / LD_PRELOAD
+  simulation that lets Guardian substitute its shim for the driver.
+"""
+
+from repro.runtime.api import CudaRuntime, HostCostModel, MemcpyKind
+from repro.runtime.backend import (
+    BackendProfile,
+    DriverCostModel,
+    GpuBackend,
+    NativeBackend,
+)
+from repro.runtime.interpose import DynamicLoader
+
+__all__ = [
+    "BackendProfile",
+    "CudaRuntime",
+    "DriverCostModel",
+    "DynamicLoader",
+    "GpuBackend",
+    "HostCostModel",
+    "MemcpyKind",
+    "NativeBackend",
+]

@@ -1,0 +1,187 @@
+"""The ``cuda*`` runtime call surface with host-side cost accounting.
+
+:class:`CudaRuntime` is what applications and accelerated libraries
+program against. It resolves the driver through the process's
+:class:`~repro.runtime.interpose.DynamicLoader` — so if Guardian's shim
+was preloaded, every call below this line is transparently remoted.
+
+Host-side costs: the paper measures CPU cycles per intercepted call
+(Table 5: a native ``cudaLaunchKernel`` costs ~9000 CPU cycles; the
+Guardian path adds ~957). The runtime charges those costs into a
+:class:`HostProfile`; deployment harnesses combine host time with
+device time to produce end-to-end figures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import RuntimeAPIError
+from repro.driver.fatbin import FatBinary
+from repro.runtime.interpose import LIBCUDA, DynamicLoader
+
+
+class MemcpyKind(enum.Enum):
+    """Transfer directions (the paper checks each differently, §4.2.2)."""
+
+    H2D = "h2d"
+    D2H = "d2h"
+    D2D = "d2d"
+
+
+@dataclass(frozen=True)
+class HostCostModel:
+    """CPU-cycle cost of the runtime *API surface*, on a ``cpu_ghz`` core.
+
+    These are the thin ``libcudart`` wrapper costs only — argument
+    checking, bookkeeping, dispatch. The expensive part of each call
+    (the driver "system call", e.g. the ~9000 cycles of a native
+    ``cudaLaunchKernel``, Table 5) is charged by whichever *backend*
+    actually performs it: the native driver
+    (:class:`repro.runtime.backend.DriverCostModel`) or, under
+    Guardian, the server at the far end of the IPC channel. Splitting
+    the accounting this way is what lets interposed deployments move
+    the driver cost off the client without double counting.
+    """
+
+    cpu_ghz: float = 3.0
+    launch: int = 300
+    malloc: int = 250
+    free: int = 200
+    memcpy: int = 300
+    stream_create: int = 250
+    synchronize: int = 250
+    export_table: int = 150
+    register_fatbin: int = 800
+    misc: int = 100
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / (self.cpu_ghz * 1e9)
+
+
+@dataclass
+class HostProfile:
+    """Accumulated host-side cost of one application process."""
+
+    cycles: float = 0.0
+    calls: dict[str, int] = field(default_factory=dict)
+
+    def charge(self, api: str, cycles: float) -> None:
+        self.cycles += cycles
+        self.calls[api] = self.calls.get(api, 0) + 1
+
+    @property
+    def total_calls(self) -> int:
+        return sum(self.calls.values())
+
+
+class CudaRuntime:
+    """One process's CUDA runtime library instance."""
+
+    def __init__(self, loader: DynamicLoader,
+                 costs: Optional[HostCostModel] = None):
+        self.loader = loader
+        self.costs = costs or HostCostModel()
+        self.profile = HostProfile()
+        # The runtime binds the driver through dlopen — the same path
+        # accelerated libraries use, and the path Guardian hooks.
+        self._backend = loader.dlopen(LIBCUDA)
+
+    @property
+    def backend(self):
+        """The resolved driver-level backend (native or interposed)."""
+        return self._backend
+
+    # -- memory management -------------------------------------------------------
+
+    def cudaMalloc(self, size: int) -> int:
+        if size <= 0:
+            raise RuntimeAPIError(f"cudaMalloc of {size} bytes")
+        self.profile.charge("cudaMalloc", self.costs.malloc)
+        return self._backend.malloc(size)
+
+    def cudaFree(self, address: int) -> None:
+        self.profile.charge("cudaFree", self.costs.free)
+        self._backend.free(address)
+
+    def cudaMemcpyH2D(self, dst: int, data: bytes,
+                      stream_id: int = 0) -> None:
+        self.profile.charge("cudaMemcpyH2D", self.costs.memcpy)
+        self._backend.memcpy_h2d(dst, bytes(data), stream_id)
+
+    def cudaMemcpyD2H(self, src: int, size: int,
+                      stream_id: int = 0) -> bytes:
+        self.profile.charge("cudaMemcpyD2H", self.costs.memcpy)
+        return self._backend.memcpy_d2h(src, size, stream_id)
+
+    def cudaMemcpyD2D(self, dst: int, src: int, size: int,
+                      stream_id: int = 0) -> None:
+        self.profile.charge("cudaMemcpyD2D", self.costs.memcpy)
+        self._backend.memcpy_d2d(dst, src, size, stream_id)
+
+    def cudaMemset(self, dst: int, value: int, size: int,
+                   stream_id: int = 0) -> None:
+        self.profile.charge("cudaMemset", self.costs.memcpy)
+        self._backend.memset(dst, value, size, stream_id)
+
+    def cudaMemcpy(self, kind: MemcpyKind, **kwargs):
+        """Dispatch form of the classic 4-argument cudaMemcpy."""
+        if kind is MemcpyKind.H2D:
+            return self.cudaMemcpyH2D(kwargs["dst"], kwargs["data"],
+                                      kwargs.get("stream_id", 0))
+        if kind is MemcpyKind.D2H:
+            return self.cudaMemcpyD2H(kwargs["src"], kwargs["size"],
+                                      kwargs.get("stream_id", 0))
+        return self.cudaMemcpyD2D(kwargs["dst"], kwargs["src"],
+                                  kwargs["size"],
+                                  kwargs.get("stream_id", 0))
+
+    # -- device code --------------------------------------------------------------
+
+    def registerFatBinary(self, fatbin: FatBinary) -> dict[str, int]:
+        """The ``__cudaRegisterFatBinary`` moment: load device code.
+
+        Called implicitly at program (or library) initialisation;
+        returns kernel-name -> launchable handle.
+        """
+        self.profile.charge("registerFatBinary", self.costs.register_fatbin)
+        return self._backend.register_fatbin(fatbin)
+
+    def cudaLaunchKernel(
+        self,
+        handle: int,
+        grid: tuple[int, int, int],
+        block: tuple[int, int, int],
+        params: list,
+        stream_id: int = 0,
+    ) -> None:
+        self.profile.charge("cudaLaunchKernel", self.costs.launch)
+        self._backend.launch_kernel(handle, grid, block, params, stream_id)
+
+    # -- streams & sync ---------------------------------------------------------------
+
+    def cudaStreamCreate(self) -> int:
+        self.profile.charge("cudaStreamCreate", self.costs.stream_create)
+        return self._backend.create_stream()
+
+    def cudaDeviceSynchronize(self) -> None:
+        self.profile.charge("cudaDeviceSynchronize", self.costs.synchronize)
+        self._backend.synchronize()
+
+    # -- the undocumented corner --------------------------------------------------------
+
+    def cudaGetExportTable(self, table_uuid: str) -> dict:
+        self.profile.charge("cudaGetExportTable", self.costs.export_table)
+        return self._backend.get_export_table(table_uuid)
+
+    # -- introspection -------------------------------------------------------------------
+
+    def cudaGetDeviceProperties(self):
+        self.profile.charge("cudaGetDeviceProperties", self.costs.misc)
+        return self._backend.device_spec()
+
+    def host_seconds(self) -> float:
+        """Wall-clock host time spent inside the runtime so far."""
+        return self.costs.cycles_to_seconds(self.profile.cycles)

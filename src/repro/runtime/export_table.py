@@ -1,0 +1,121 @@
+"""The undocumented ``cudaGetExportTable`` function tables.
+
+CUDA-accelerated libraries (cuBLAS, cuDNN, ...) call an undocumented
+runtime function, ``cudaGetExportTable(uuid)``, which returns a table
+of hidden function pointers. The paper found PyTorch- and Caffe-class
+workloads touch **about seven tables with more than 90 functions**
+(§4.1), and that API-remoting systems which ignore them cannot run
+those frameworks (§7.4).
+
+This module defines the simulator's seven tables. The entries a
+library actually calls are implemented against the backend; the rest
+are inert handles — mirroring Guardian's "minimal implementation ...
+adequate to run PyTorch and Caffe".
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.runtime import backend as backend_module
+
+#: The seven table UUIDs the simulated libraries know about. Real UUIDs
+#: are opaque 16-byte values; symbolic names keep tests readable.
+EXPORT_TABLE_UUIDS = (
+    "6bd5fb6c-5bf4-e74a-8987-d93912fd9df9",  # context-local storage
+    "a094795c-2e74-2e74-93f2-0800200c9a66",  # primary context control
+    "42d85a81-23f6-cb47-8298-f6e78a3aecdc",  # stream internal queries
+    "c693336e-1121-df11-a8c3-68f355d89593",  # memory heuristics
+    "0d5ad2a3-cf1c-e511-afdb-8b4069066e12",  # kernel occupancy hints
+    "195bbd60-f509-0c4a-a6f6-56c27b461dd4",  # module/fatbin registry
+    "b1f2c5a9-3d71-4e02-9c1b-77f00a12e9d3",  # profiler hooks
+)
+
+_TABLE_SIZES = {
+    EXPORT_TABLE_UUIDS[0]: 14,
+    EXPORT_TABLE_UUIDS[1]: 12,
+    EXPORT_TABLE_UUIDS[2]: 16,
+    EXPORT_TABLE_UUIDS[3]: 13,
+    EXPORT_TABLE_UUIDS[4]: 12,
+    EXPORT_TABLE_UUIDS[5]: 15,
+    EXPORT_TABLE_UUIDS[6]: 12,
+}
+
+#: Total hidden functions across all tables ("more than 90").
+TOTAL_EXPORTED_FUNCTIONS = sum(_TABLE_SIZES.values())
+
+
+def build_export_tables(
+    backend: "backend_module.GpuBackend",
+) -> dict[str, dict[str, Callable]]:
+    """Construct every export table against one backend.
+
+    The functionally meaningful entries route through the backend so a
+    remoted implementation behaves identically; filler entries return
+    inert values (handles, zeros) like their real counterparts.
+    """
+    tables: dict[str, dict[str, Callable]] = {}
+
+    context_local: dict[str, Callable] = {}
+    context_local["ctxLocalStorageGet"] = lambda key=0: 0
+    context_local["ctxLocalStoragePut"] = lambda key=0, value=0: None
+    tables[EXPORT_TABLE_UUIDS[0]] = context_local
+
+    primary_ctx: dict[str, Callable] = {}
+    primary_ctx["primaryCtxRetain"] = lambda: 1
+    primary_ctx["primaryCtxRelease"] = lambda: None
+    tables[EXPORT_TABLE_UUIDS[1]] = primary_ctx
+
+    stream_internal: dict[str, Callable] = {}
+    stream_internal["streamGetInternalHandle"] = lambda stream_id=0: (
+        0x5000 + stream_id
+    )
+    stream_internal["streamIsCapturing"] = lambda stream_id=0: False
+    tables[EXPORT_TABLE_UUIDS[2]] = stream_internal
+
+    memory_heuristics: dict[str, Callable] = {}
+    memory_heuristics["memGetGranularity"] = lambda: 256
+    memory_heuristics["memPoolQuery"] = lambda: {"reserved": 0}
+    tables[EXPORT_TABLE_UUIDS[3]] = memory_heuristics
+
+    occupancy: dict[str, Callable] = {}
+    occupancy["occupancyMaxActiveBlocks"] = (
+        lambda threads_per_block=128: max(
+            1,
+            backend.device_spec().max_resident_warps
+            * 32 // max(threads_per_block, 1),
+        )
+    )
+    tables[EXPORT_TABLE_UUIDS[4]] = occupancy
+
+    registry: dict[str, Callable] = {}
+    registry["fatbinGetIdentifier"] = lambda: 0xFA7B14
+    tables[EXPORT_TABLE_UUIDS[5]] = registry
+
+    profiler: dict[str, Callable] = {}
+    profiler["profilerIsEnabled"] = lambda: False
+    tables[EXPORT_TABLE_UUIDS[6]] = profiler
+
+    prefixes = ("ctxLocal", "primaryCtx", "streamQuery", "memHint",
+                "occupancy", "fatbinRegistry", "profiler")
+    for uuid, prefix in zip(EXPORT_TABLE_UUIDS, prefixes):
+        _pad_table(tables[uuid], uuid, prefix)
+    return tables
+
+
+def _pad_table(table: dict[str, Callable], uuid: str,
+               prefix: str) -> None:
+    """Pad a table with inert entries up to its documented size."""
+    size = _TABLE_SIZES[uuid]
+    index = 0
+    while len(table) < size:
+        name = f"{prefix}Internal{index:02d}"
+        table[name] = _make_inert(index)
+        index += 1
+
+
+def _make_inert(index: int) -> Callable:
+    def inert(*args, **kwargs):
+        return index
+
+    return inert

@@ -1,0 +1,67 @@
+"""Dynamic loading and LD_PRELOAD-style interposition.
+
+Real CUDA libraries do not link against ``libcuda.so``; they
+``dlopen()`` it at runtime (paper §4.1). To interpose *below* them,
+Guardian must both (a) be preloaded ahead of the runtime library and
+(b) hook ``dlopen`` so the libraries receive the shim instead of the
+original driver.
+
+This module simulates that process-level machinery. A
+:class:`DynamicLoader` is the per-process linker state: libraries are
+registered under their soname, and a *preload* shadows a soname so
+every subsequent ``dlopen`` returns the interposer. The sequencing
+constraint is real: a library resolved *before* the preload keeps its
+original binding, exactly like LD_PRELOAD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+#: Canonical sonames used across the simulator.
+LIBCUDA = "libcuda.so"
+LIBCUDART = "libcudart.so"
+
+
+class LinkError(ReproError):
+    """dlopen failed (no such library in this process)."""
+
+
+@dataclass
+class DynamicLoader:
+    """Per-process dynamic linker state."""
+
+    _libraries: dict[str, object] = field(default_factory=dict)
+    _preloads: dict[str, object] = field(default_factory=dict)
+    #: Audit trail of (soname, was_interposed) — lets tests verify that
+    #: every driver resolution went through the shim.
+    resolutions: list[tuple[str, bool]] = field(default_factory=list)
+
+    def register(self, soname: str, library: object) -> None:
+        """Install a library under its soname (what ld.so search does)."""
+        self._libraries[soname] = library
+
+    def preload(self, soname: str, interposer: object) -> None:
+        """Shadow ``soname``: future dlopens resolve to ``interposer``.
+
+        This is the LD_PRELOAD moment — it must happen at application
+        startup, before any library binds the real driver.
+        """
+        self._preloads[soname] = interposer
+
+    def dlopen(self, soname: str) -> object:
+        """Resolve a library, honouring preloads."""
+        interposer = self._preloads.get(soname)
+        if interposer is not None:
+            self.resolutions.append((soname, True))
+            return interposer
+        library = self._libraries.get(soname)
+        if library is None:
+            raise LinkError(f"dlopen: cannot open {soname!r}")
+        self.resolutions.append((soname, False))
+        return library
+
+    def is_preloaded(self, soname: str) -> bool:
+        return soname in self._preloads

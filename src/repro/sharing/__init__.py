@@ -1,0 +1,34 @@
+"""Multi-tenant deployments (the paper's §5 "Baseline and G-Safe
+Deployments").
+
+Four ways to put applications on one GPU:
+
+- **native** — each app has its own context; the GPU time-shares with
+  hardware protection (the protected baseline);
+- **mps** — one shared context via an MPS-like server; spatial sharing,
+  *no* protection (:mod:`repro.sharing.mps`);
+- **guardian-noprot** — Guardian's interception/forwarding with checks
+  disabled (isolates interception overhead);
+- **guardian** — Guardian with address fencing (the paper's system).
+
+:mod:`repro.sharing.deployments` runs any workload mix under any of
+the four and reports per-app and makespan timings;
+:mod:`repro.sharing.workload_mixes` defines the Table 4 mixes A-P.
+"""
+
+from repro.sharing.deployments import (
+    AppSpec,
+    DeploymentRun,
+    DEPLOYMENTS,
+    run_deployment,
+)
+from repro.sharing.workload_mixes import MIXES, build_mix
+
+__all__ = [
+    "AppSpec",
+    "DEPLOYMENTS",
+    "DeploymentRun",
+    "MIXES",
+    "build_mix",
+    "run_deployment",
+]

@@ -1,0 +1,76 @@
+"""Standalone-application overhead runs (the paper's §6.2 setup).
+
+Running one application alone isolates Guardian's per-mechanism costs:
+
+========================  ==================================================
+configuration             what it measures
+========================  ==================================================
+``native``                unprotected baseline (direct driver)
+``noprot``                interception + IPC + pointerToSymbol lookup only
+``bitwise``               + two bit-masking instructions per ld/st
+``modulo``                + inline 64-bit modulo fencing per ld/st
+``checking``              + conditional bounds checks per ld/st
+========================  ==================================================
+
+``run_standalone_suite`` runs the same workload under each requested
+configuration on a fresh device and returns wall seconds per
+configuration — the bars of Figs. 8, 9 and 12.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.core.policy import FencingMode
+from repro.gpu.specs import DeviceSpec, QUADRO_RTX_A4000
+from repro.sharing.deployments import AppSpec, DeploymentRun, run_deployment
+
+#: Standalone configurations, in the order the paper plots them.
+STANDALONE_CONFIGS = ("native", "noprot", "bitwise", "modulo", "checking")
+
+_CONFIG_TO_DEPLOYMENT = {
+    "native": ("native", FencingMode.NONE),
+    "noprot": ("guardian-noprot", FencingMode.NONE),
+    "bitwise": ("guardian", FencingMode.BITWISE),
+    "modulo": ("guardian", FencingMode.MODULO),
+    "checking": ("guardian", FencingMode.CHECKING),
+}
+
+
+def run_standalone(
+    workload: Callable,
+    config: str,
+    spec: DeviceSpec = QUADRO_RTX_A4000,
+    max_blocks: Optional[int] = None,
+    app_id: str = "app",
+) -> DeploymentRun:
+    """Run one workload alone under one configuration."""
+    try:
+        deployment, mode = _CONFIG_TO_DEPLOYMENT[config]
+    except KeyError:
+        raise ValueError(
+            f"unknown standalone config {config!r}; pick from "
+            f"{STANDALONE_CONFIGS}"
+        ) from None
+    app = AppSpec(app_id=app_id, workload=workload)
+    return run_deployment(deployment, [app], spec=spec, mode=mode,
+                          max_blocks=max_blocks)
+
+
+def run_standalone_suite(
+    workload_factory: Callable[[], Callable],
+    configs: Sequence[str] = STANDALONE_CONFIGS,
+    spec: DeviceSpec = QUADRO_RTX_A4000,
+    max_blocks: Optional[int] = None,
+) -> dict[str, float]:
+    """Wall seconds per configuration for one workload.
+
+    ``workload_factory`` must return a *fresh* workload callable per
+    invocation (each configuration runs on a fresh device).
+    """
+    results = {}
+    for config in configs:
+        run = run_standalone(workload_factory(), config, spec=spec,
+                             max_blocks=max_blocks)
+        results[config] = run.makespan_seconds
+    return results

@@ -1,0 +1,18 @@
+"""Application workloads.
+
+The paper evaluates Guardian with Caffe and PyTorch neural networks
+(LeNet, Siamese, CIFAR-10, computer-vision and RNN models on
+MNIST/CIFAR, plus ImageNet-class networks) and with the Rodinia
+benchmark suite. This package provides the equivalents:
+
+- :mod:`repro.workloads.frameworks` — a miniature deep-learning
+  framework whose every layer runs through the simulated closed-source
+  libraries (the same dependency structure that makes Guardian's
+  PTX-level approach necessary);
+- :mod:`repro.workloads.rodinia` — gaussian, hotspot, lavamd and
+  particlefilter applications with their own embedded fatbins.
+
+All workloads are scaled down (synthetic datasets, small feature maps)
+but execute the *same code paths* as their full-size counterparts; the
+scale factors are explicit constructor parameters.
+"""

@@ -1,0 +1,27 @@
+"""The mini deep-learning framework ("minidl").
+
+A deliberately small Caffe/PyTorch stand-in: tensors live in device
+memory, layers call cuBLAS/cuDNN/cuRAND, training loops issue the same
+alloc/transfer/launch streams the paper's frameworks do. One framework
+serves for both "Caffe" and "PyTorch" roles — the distinction in the
+paper is the model zoo and kernel volume, which the network configs in
+:mod:`repro.workloads.frameworks.networks` carry.
+"""
+
+from repro.workloads.frameworks.libs import LibraryBundle
+from repro.workloads.frameworks.tensor import DeviceTensor
+from repro.workloads.frameworks.training import (
+    InferenceResult,
+    TrainingResult,
+    evaluate,
+    train,
+)
+
+__all__ = [
+    "DeviceTensor",
+    "InferenceResult",
+    "LibraryBundle",
+    "TrainingResult",
+    "evaluate",
+    "train",
+]

@@ -1,0 +1,336 @@
+"""Neural-network layers on top of the accelerated libraries.
+
+Each layer's forward/backward issues the same implicit CUDA-call
+streams the paper's frameworks do — conv through cuDNN, linear through
+cuBLAS GEMM, initialisation through cuRAND. Activations and scratch
+buffers are cached per batch shape, like real frameworks' workspaces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.workloads.frameworks.libs import LibraryBundle
+from repro.workloads.frameworks.tensor import DeviceTensor
+
+
+class Layer:
+    """Base layer: forward, backward, parameter/gradient pairs."""
+
+    def forward(self, x: DeviceTensor) -> DeviceTensor:
+        raise NotImplementedError
+
+    def backward(self, dy: DeviceTensor) -> DeviceTensor:
+        raise NotImplementedError
+
+    def parameters(self) -> list[tuple[DeviceTensor, DeviceTensor]]:
+        """(weights, gradient) pairs for the optimiser."""
+        return []
+
+    def _cache(self, name: str, shape: tuple[int, ...],
+               runtime) -> DeviceTensor:
+        """Allocate-or-reuse a workspace tensor keyed by shape."""
+        cached: Optional[DeviceTensor] = getattr(self, name, None)
+        if cached is None or cached.shape != shape:
+            if cached is not None:
+                cached.free()
+            cached = DeviceTensor.alloc(runtime, shape)
+            setattr(self, name, cached)
+        return cached
+
+
+class Conv2D(Layer):
+    """Valid-padding stride-1 convolution (cuDNN direct kernels)."""
+
+    def __init__(self, libs: LibraryBundle, cin: int, cout: int,
+                 kernel: int):
+        self.libs = libs
+        self.cin, self.cout, self.k = cin, cout, kernel
+        runtime = libs.runtime
+        fan_in = cin * kernel * kernel
+        self.w = DeviceTensor.alloc(runtime, (cout, cin, kernel, kernel))
+        libs.rng.generate_normal(self.w.address, self.w.size,
+                                 stddev=1.0 / math.sqrt(fan_in))
+        self.b = DeviceTensor.alloc(runtime, (cout,))
+        libs.dnn.fill(self.b.address, 0.0, cout)
+        self.dw = DeviceTensor.alloc(runtime, self.w.shape)
+        self.db = DeviceTensor.alloc(runtime, self.b.shape)
+        self._x: Optional[DeviceTensor] = None
+        self._y = None
+        self._dx = None
+
+    def forward(self, x: DeviceTensor) -> DeviceTensor:
+        n, cin, h, w = x.shape
+        oh, ow = h - self.k + 1, w - self.k + 1
+        y = self._cache("_y", (n, self.cout, oh, ow), x.runtime)
+        self.libs.dnn.conv2d_forward(
+            y.address, x.address, self.w.address, self.b.address,
+            n, cin, h, w, self.cout, self.k, self.k,
+        )
+        self._x = x
+        return y
+
+    def backward(self, dy: DeviceTensor) -> DeviceTensor:
+        x = self._x
+        n, cin, h, w = x.shape
+        oh, ow = dy.shape[2], dy.shape[3]
+        dnn = self.libs.dnn
+        dnn.conv2d_backward_filter(
+            self.dw.address, x.address, dy.address,
+            n, cin, h, w, self.cout, self.k, self.k,
+        )
+        dnn.bias_backward(self.db.address, dy.address, n, self.cout,
+                          oh * ow)
+        dx = self._cache("_dx", x.shape, x.runtime)
+        dnn.conv2d_backward_data(
+            dx.address, self.w.address, dy.address,
+            n, cin, h, w, self.cout, self.k, self.k,
+        )
+        return dx
+
+    def parameters(self):
+        return [(self.w, self.dw), (self.b, self.db)]
+
+
+class DepthwiseConv2D(Layer):
+    """Depthwise 3x3 conv, one cuDNN call per channel.
+
+    MobileNet-style: channel c of the output depends only on channel c
+    of the input. Implemented as ``cin`` single-channel convolutions —
+    a burst of small kernels per batch, the launch-heavy pattern the
+    paper's MobileNetV2 row represents.
+    """
+
+    def __init__(self, libs: LibraryBundle, channels: int, kernel: int = 3):
+        self.libs = libs
+        self.channels, self.k = channels, kernel
+        runtime = libs.runtime
+        self.w = DeviceTensor.alloc(runtime, (channels, 1, kernel, kernel))
+        libs.rng.generate_normal(self.w.address, self.w.size,
+                                 stddev=1.0 / kernel)
+        self.b = DeviceTensor.alloc(runtime, (channels,))
+        libs.dnn.fill(self.b.address, 0.0, channels)
+        self.dw = DeviceTensor.alloc(runtime, self.w.shape)
+        self.db = DeviceTensor.alloc(runtime, self.b.shape)
+        self._x = None
+        self._y = None
+        self._dx = None
+
+    def _plane(self, tensor: DeviceTensor, batch: int, channel: int,
+               plane_elems: int) -> int:
+        per_image = tensor.shape[1] * plane_elems
+        return tensor.address + 4 * (batch * per_image
+                                     + channel * plane_elems)
+
+    def forward(self, x: DeviceTensor) -> DeviceTensor:
+        n, c, h, w = x.shape
+        oh, ow = h - self.k + 1, w - self.k + 1
+        y = self._cache("_y", (n, c, oh, ow), x.runtime)
+        dnn = self.libs.dnn
+        for batch in range(n):
+            for channel in range(c):
+                dnn.conv2d_forward(
+                    self._plane(y, batch, channel, oh * ow),
+                    self._plane(x, batch, channel, h * w),
+                    self.w.address + 4 * channel * self.k * self.k,
+                    self.b.address + 4 * channel,
+                    1, 1, h, w, 1, self.k, self.k,
+                )
+        self._x = x
+        return y
+
+    def backward(self, dy: DeviceTensor) -> DeviceTensor:
+        x = self._x
+        n, c, h, w = x.shape
+        oh, ow = dy.shape[2], dy.shape[3]
+        dnn = self.libs.dnn
+        dx = self._cache("_dx", x.shape, x.runtime)
+        for batch in range(n):
+            for channel in range(c):
+                w_plane = self.w.address + 4 * channel * self.k * self.k
+                dy_plane = self._plane(dy, batch, channel, oh * ow)
+                x_plane = self._plane(x, batch, channel, h * w)
+                dnn.conv2d_backward_filter(
+                    self.dw.address + 4 * channel * self.k * self.k,
+                    x_plane, dy_plane, 1, 1, h, w, 1, self.k, self.k,
+                )
+                dnn.conv2d_backward_data(
+                    self._plane(dx, batch, channel, h * w),
+                    w_plane, dy_plane, 1, 1, h, w, 1, self.k, self.k,
+                )
+        dnn.bias_backward(self.db.address, dy.address, n, c, oh * ow)
+        return dx
+
+    def parameters(self):
+        return [(self.w, self.dw), (self.b, self.db)]
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping PxP max pooling."""
+
+    def __init__(self, libs: LibraryBundle, pool: int = 2):
+        self.libs = libs
+        self.p = pool
+        self._x = None
+        self._y = None
+        self._idx = None
+        self._dx = None
+
+    def forward(self, x: DeviceTensor) -> DeviceTensor:
+        n, c, h, w = x.shape
+        oh, ow = h // self.p, w // self.p
+        y = self._cache("_y", (n, c, oh, ow), x.runtime)
+        idx = self._cache("_idx", (n, c, oh, ow), x.runtime)
+        self.libs.dnn.maxpool_forward(
+            y.address, idx.address, x.address, n * c, h, w, self.p
+        )
+        self._x = x
+        return y
+
+    def backward(self, dy: DeviceTensor) -> DeviceTensor:
+        x = self._x
+        dx = self._cache("_dx", x.shape, x.runtime)
+        self.libs.dnn.maxpool_backward(
+            dx.address, dy.address, self._idx.address, dy.size, x.size
+        )
+        return dx
+
+
+class ReLU(Layer):
+    def __init__(self, libs: LibraryBundle):
+        self.libs = libs
+        self._y = None
+        self._dx = None
+
+    def forward(self, x: DeviceTensor) -> DeviceTensor:
+        y = self._cache("_y", x.shape, x.runtime)
+        self.libs.dnn.relu_forward(y.address, x.address, x.size)
+        return y
+
+    def backward(self, dy: DeviceTensor) -> DeviceTensor:
+        dx = self._cache("_dx", dy.shape, dy.runtime)
+        self.libs.dnn.relu_backward(dx.address, dy.address,
+                                    self._y.address, dy.size)
+        return dx
+
+
+class Flatten(Layer):
+    """Shape-only adapter between conv stacks and linear layers."""
+
+    def __init__(self):
+        self._shape: tuple[int, ...] = ()
+
+    def forward(self, x: DeviceTensor) -> DeviceTensor:
+        self._shape = x.shape
+        return x.reshape((x.shape[0], x.size // x.shape[0]))
+
+    def backward(self, dy: DeviceTensor) -> DeviceTensor:
+        return dy.reshape(self._shape)
+
+
+class Linear(Layer):
+    """Fully connected layer through cuBLAS GEMM."""
+
+    def __init__(self, libs: LibraryBundle, in_features: int,
+                 out_features: int):
+        self.libs = libs
+        self.in_f, self.out_f = in_features, out_features
+        runtime = libs.runtime
+        self.w = DeviceTensor.alloc(runtime, (in_features, out_features))
+        libs.rng.generate_normal(self.w.address, self.w.size,
+                                 stddev=1.0 / math.sqrt(in_features))
+        self.b = DeviceTensor.alloc(runtime, (out_features,))
+        libs.dnn.fill(self.b.address, 0.0, out_features)
+        self.dw = DeviceTensor.alloc(runtime, self.w.shape)
+        self.db = DeviceTensor.alloc(runtime, self.b.shape)
+        self._x = None
+        self._y = None
+        self._dx = None
+
+    def forward(self, x: DeviceTensor) -> DeviceTensor:
+        n = x.shape[0]
+        y = self._cache("_y", (n, self.out_f), x.runtime)
+        self.libs.blas.sgemm(n, self.out_f, self.in_f,
+                             x.address, self.w.address, y.address)
+        self.libs.dnn.add_bias(y.address, self.b.address, n, self.out_f)
+        self._x = x
+        return y
+
+    def backward(self, dy: DeviceTensor) -> DeviceTensor:
+        x = self._x
+        n = x.shape[0]
+        blas = self.libs.blas
+        # dW = x^T @ dy, db = column sums, dx = dy @ W^T.
+        blas.sgemm(self.in_f, self.out_f, n, x.address, dy.address,
+                   self.dw.address, trans_a=True)
+        self.libs.dnn.bias_backward(self.db.address, dy.address, n,
+                                    self.out_f, 1)
+        dx = self._cache("_dx", x.shape, x.runtime)
+        blas.sgemm(n, self.in_f, self.out_f, dy.address, self.w.address,
+                   dx.address, trans_b=True)
+        return dx
+
+    def parameters(self):
+        return [(self.w, self.dw), (self.b, self.db)]
+
+
+class Residual(Layer):
+    """y = relu(inner(x)) + x — ResNet-style skip (needs matching
+    shapes; use 1x1 convs inside)."""
+
+    def __init__(self, libs: LibraryBundle, inner: Layer):
+        self.libs = libs
+        self.inner = inner
+        self.relu = ReLU(libs)
+        self._y = None
+        self._dx = None
+
+    def forward(self, x: DeviceTensor) -> DeviceTensor:
+        branch = self.relu.forward(self.inner.forward(x))
+        if branch.shape != x.shape:
+            raise ValueError(
+                f"residual shapes differ: {branch.shape} vs {x.shape}"
+            )
+        y = self._cache("_y", x.shape, x.runtime)
+        self.libs.dnn.add(y.address, branch.address, x.address, x.size)
+        return y
+
+    def backward(self, dy: DeviceTensor) -> DeviceTensor:
+        d_branch = self.inner.backward(self.relu.backward(dy))
+        dx = self._cache("_dx", dy.shape, dy.runtime)
+        self.libs.dnn.add(dx.address, d_branch.address, dy.address,
+                          dy.size)
+        return dx
+
+    def parameters(self):
+        return self.inner.parameters()
+
+
+class SoftmaxCrossEntropy:
+    """Fused loss head: returns mean loss, produces the logits grad."""
+
+    def __init__(self, libs: LibraryBundle):
+        self.libs = libs
+        self._probs = None
+        self._loss = None
+        self._dx = None
+
+    def forward(self, logits: DeviceTensor,
+                labels: DeviceTensor) -> float:
+        n, classes = logits.shape
+        runtime = logits.runtime
+        probs = Layer._cache(self, "_probs", (n, classes), runtime)
+        loss = Layer._cache(self, "_loss", (n,), runtime)
+        dx = Layer._cache(self, "_dx", (n, classes), runtime)
+        self.libs.dnn.softmax_xent(
+            probs.address, loss.address, dx.address,
+            logits.address, labels.address, n, classes, 1.0 / n,
+        )
+        return float(loss.download().mean())
+
+    def probabilities(self) -> DeviceTensor:
+        return self._probs
+
+    def backward(self) -> DeviceTensor:
+        return self._dx

@@ -1,0 +1,35 @@
+"""The accelerated-library bundle a framework process links."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.libs.cublas import CuBLAS
+from repro.libs.cudnn import CuDNN
+from repro.libs.cufft import CuFFT
+from repro.libs.curand import CuRAND
+from repro.runtime.api import CudaRuntime
+
+
+@dataclass
+class LibraryBundle:
+    """All closed-source libraries of one application process."""
+
+    runtime: CudaRuntime
+    blas: CuBLAS
+    dnn: CuDNN
+    rng: CuRAND
+    fft: CuFFT | None = None
+
+    @classmethod
+    def create(cls, runtime: CudaRuntime, with_fft: bool = False,
+               seed: int = 0x5EED) -> "LibraryBundle":
+        """Initialise the libraries (each registers its fatbin and
+        touches the hidden export tables — the interception gauntlet)."""
+        return cls(
+            runtime=runtime,
+            blas=CuBLAS(runtime),
+            dnn=CuDNN(runtime),
+            rng=CuRAND(runtime, seed=seed),
+            fft=CuFFT(runtime) if with_fft else None,
+        )

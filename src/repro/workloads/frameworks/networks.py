@@ -1,0 +1,453 @@
+"""The model zoo (the paper's §5 networks, scaled down).
+
+MNIST/CIFAR-class models: ``lenet``, ``siamese``, ``cifar10``, ``cv``,
+``rnn``; ImageNet-class models: ``alexnet``, ``caffenet``, ``vgg11``,
+``googlenet``, ``mobilenetv2``, ``resnet50``. Each is structurally
+faithful at miniature size — residual adds in the ResNet, per-channel
+depthwise bursts in the MobileNet, channel-concatenated branches in
+the GoogLeNet, twin towers with shared weights in the Siamese — so the
+kernel streams have the right *shape* even though dimensions are tiny.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.workloads.frameworks.layers import (
+    Conv2D,
+    DepthwiseConv2D,
+    Flatten,
+    Layer,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    Residual,
+    SoftmaxCrossEntropy,
+)
+from repro.workloads.frameworks.libs import LibraryBundle
+from repro.workloads.frameworks.tensor import DeviceTensor
+
+
+class SequentialNet:
+    """A plain layer stack with a softmax cross-entropy head."""
+
+    def __init__(self, libs: LibraryBundle, layers: list[Layer],
+                 input_shape: tuple[int, ...], num_classes: int,
+                 name: str = "net"):
+        self.libs = libs
+        self.layers = layers
+        self.input_shape = input_shape
+        self.num_classes = num_classes
+        self.name = name
+        self.loss_head = SoftmaxCrossEntropy(libs)
+
+    # -- forward / backward ------------------------------------------------------
+
+    def forward(self, x: DeviceTensor) -> DeviceTensor:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def train_batch(self, x: DeviceTensor, labels: DeviceTensor,
+                    lr: float) -> float:
+        logits = self.forward(x)
+        loss = self.loss_head.forward(logits, labels)
+        grad = self.loss_head.backward()
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        self.step(lr)
+        return loss
+
+    def infer_batch(self, x: DeviceTensor) -> np.ndarray:
+        logits = self.forward(x)
+        return logits.download().argmax(axis=1)
+
+    def step(self, lr: float) -> None:
+        dnn = self.libs.dnn
+        for layer in self.layers:
+            for weights, grads in layer.parameters():
+                dnn.sgd_update(weights.address, grads.address, lr,
+                               weights.size)
+
+    def parameter_count(self) -> int:
+        return sum(
+            weights.size
+            for layer in self.layers
+            for weights, _ in layer.parameters()
+        )
+
+
+class SiameseNet(SequentialNet):
+    """Twin towers with *shared* weights joined by feature difference.
+
+    Both inputs pass through the same tower; the head trains on the
+    difference of the embeddings. Backward trains the head and the
+    tower through the second input's path (a standard shared-weight
+    simplification at this scale).
+    """
+
+    def __init__(self, libs: LibraryBundle, tower: list[Layer],
+                 head: list[Layer], input_shape: tuple[int, ...],
+                 num_classes: int):
+        super().__init__(libs, tower + head, input_shape, num_classes,
+                         name="siamese")
+        self.tower = tower
+        self.head = head
+        self._diff: Optional[DeviceTensor] = None
+
+    def train_pair_batch(self, x1: DeviceTensor, x2: DeviceTensor,
+                         labels: DeviceTensor, lr: float) -> float:
+        e1 = x1
+        for layer in self.tower:
+            e1 = layer.forward(e1)
+        # Snapshot the first embedding before the tower caches are
+        # overwritten by the second pass.
+        if self._diff is None or self._diff.shape != e1.shape:
+            self._diff = DeviceTensor.alloc(self.libs.runtime, e1.shape)
+        self.libs.blas.scopy(e1.size, e1.address, self._diff.address)
+        e2 = x2
+        for layer in self.tower:
+            e2 = layer.forward(e2)
+        # diff = e1 - e2  (saxpy with alpha = -1 into the snapshot)
+        self.libs.blas.saxpy(e1.size, -1.0, e2.address,
+                             self._diff.address)
+        out = self._diff
+        for layer in self.head:
+            out = layer.forward(out)
+        loss = self.loss_head.forward(out, labels)
+        grad = self.loss_head.backward()
+        for layer in reversed(self.head):
+            grad = layer.backward(grad)
+        for layer in reversed(self.tower):
+            grad = layer.backward(grad)
+        self.step(lr)
+        return loss
+
+
+class ElmanRNN:
+    """A small Elman RNN: h_t = tanh(x_t Wx + h_{t-1} Wh + b).
+
+    Forward runs fully on-device (GEMM + add + tanh per step); training
+    updates the output projection (last-layer training — the recurrent
+    weights stay fixed, a documented scale-down of full BPTT).
+    """
+
+    def __init__(self, libs: LibraryBundle, input_size: int,
+                 hidden_size: int, num_classes: int, steps: int):
+        self.libs = libs
+        self.name = "rnn"
+        self.input_size = input_size
+        self.hidden = hidden_size
+        self.steps = steps
+        self.num_classes = num_classes
+        self.input_shape = (steps, input_size)
+        runtime = libs.runtime
+        scale = 1.0 / np.sqrt(hidden_size)
+        self.wx = DeviceTensor.alloc(runtime, (input_size, hidden_size))
+        libs.rng.generate_normal(self.wx.address, self.wx.size,
+                                 stddev=scale)
+        self.wh = DeviceTensor.alloc(runtime, (hidden_size, hidden_size))
+        libs.rng.generate_normal(self.wh.address, self.wh.size,
+                                 stddev=scale)
+        self.bias = DeviceTensor.alloc(runtime, (hidden_size,))
+        libs.dnn.fill(self.bias.address, 0.0, hidden_size)
+        self.out = Linear(libs, hidden_size, num_classes)
+        self.loss_head = SoftmaxCrossEntropy(libs)
+        self._h = None
+        self._hx = None
+        self._hh = None
+
+    def _buffers(self, n: int):
+        runtime = self.libs.runtime
+        for name in ("_h", "_hx", "_hh"):
+            cached = getattr(self, name)
+            if cached is None or cached.shape != (n, self.hidden):
+                if cached is not None:
+                    cached.free()
+                setattr(self, name,
+                        DeviceTensor.alloc(runtime, (n, self.hidden)))
+        return self._h, self._hx, self._hh
+
+    def forward(self, x: DeviceTensor) -> DeviceTensor:
+        """x shape: (n, steps, input_size)."""
+        n = x.shape[0]
+        h, hx, hh = self._buffers(n)
+        self.libs.dnn.fill(h.address, 0.0, h.size)
+        blas, dnn = self.libs.blas, self.libs.dnn
+        step_bytes = self.input_size * 4
+        for t in range(self.steps):
+            # x_t is a strided time-slice of the (n, steps, input)
+            # buffer: row stride between batch items is steps * input.
+            xt_addr = x.address + t * step_bytes
+            blas.sgemm(n, self.hidden, self.input_size, xt_addr,
+                       self.wx.address, hx.address,
+                       a_row_stride=self.steps * self.input_size)
+            # hh = h @ Wh
+            blas.sgemm(n, self.hidden, self.hidden, h.address,
+                       self.wh.address, hh.address)
+            dnn.add(h.address, hx.address, hh.address, h.size)
+            dnn.add_bias(h.address, self.bias.address, n, self.hidden)
+            dnn.tanh_forward(h.address, h.address, h.size)
+        return self.out.forward(h)
+
+    def train_batch(self, x: DeviceTensor, labels: DeviceTensor,
+                    lr: float) -> float:
+        logits = self.forward(x)
+        loss = self.loss_head.forward(logits, labels)
+        self.out.backward(self.loss_head.backward())
+        for weights, grads in self.out.parameters():
+            self.libs.dnn.sgd_update(weights.address, grads.address, lr,
+                                     weights.size)
+        return loss
+
+    def infer_batch(self, x: DeviceTensor) -> np.ndarray:
+        return self.forward(x).download().argmax(axis=1)
+
+    def parameter_count(self) -> int:
+        return (self.wx.size + self.wh.size + self.bias.size
+                + self.out.w.size + self.out.b.size)
+
+
+# --------------------------------------------------------------------------
+# Model zoo
+# --------------------------------------------------------------------------
+
+#: (channels, height, width) of the MNIST-class synthetic inputs.
+MNIST_SHAPE = (1, 12, 12)
+#: CIFAR-class synthetic inputs.
+CIFAR_SHAPE = (3, 12, 12)
+#: ImageNet-class synthetic inputs (tiny stand-in).
+IMAGENET_SHAPE = (3, 16, 16)
+
+NUM_CLASSES = 10
+
+
+def lenet(libs: LibraryBundle) -> SequentialNet:
+    """LeNet-style: conv-pool-conv-pool-fc-fc."""
+    c, h, w = MNIST_SHAPE
+    layers = [
+        Conv2D(libs, c, 4, 3), MaxPool2D(libs), ReLU(libs),   # 4 x 5 x 5
+        Conv2D(libs, 4, 8, 2), ReLU(libs),                    # 8 x 4 x 4
+        Flatten(),
+        Linear(libs, 8 * 4 * 4, 32), ReLU(libs),
+        Linear(libs, 32, NUM_CLASSES),
+    ]
+    return SequentialNet(libs, layers, MNIST_SHAPE, NUM_CLASSES, "lenet")
+
+
+def cifar10(libs: LibraryBundle) -> SequentialNet:
+    """Caffe's cifar10_quick-style stack."""
+    c, h, w = CIFAR_SHAPE
+    layers = [
+        Conv2D(libs, c, 6, 3), ReLU(libs), MaxPool2D(libs),   # 6 x 5 x 5
+        Conv2D(libs, 6, 12, 2), ReLU(libs),                   # 12 x 4 x 4
+        Conv2D(libs, 12, 12, 3), ReLU(libs),                  # 12 x 2 x 2
+        Flatten(),
+        Linear(libs, 12 * 2 * 2, 32), ReLU(libs),
+        Linear(libs, 32, NUM_CLASSES),
+    ]
+    return SequentialNet(libs, layers, CIFAR_SHAPE, NUM_CLASSES, "cifar10")
+
+
+def cv(libs: LibraryBundle) -> SequentialNet:
+    """The paper's 'computer vision' network: a deeper conv stack."""
+    c, h, w = MNIST_SHAPE
+    layers = [
+        Conv2D(libs, c, 6, 3), ReLU(libs),                    # 6 x 10 x 10
+        Conv2D(libs, 6, 8, 3), ReLU(libs), MaxPool2D(libs),   # 8 x 4 x 4
+        Conv2D(libs, 8, 12, 3), ReLU(libs),                   # 12 x 2 x 2
+        Flatten(),
+        Linear(libs, 12 * 2 * 2, 48), ReLU(libs),
+        Linear(libs, 48, NUM_CLASSES),
+    ]
+    return SequentialNet(libs, layers, MNIST_SHAPE, NUM_CLASSES, "cv")
+
+
+def siamese(libs: LibraryBundle) -> SiameseNet:
+    """Siamese twin towers with shared weights (Caffe's mnist_siamese)."""
+    c, h, w = MNIST_SHAPE
+    tower = [
+        Conv2D(libs, c, 4, 3), MaxPool2D(libs), ReLU(libs),
+        Flatten(),
+        Linear(libs, 4 * 5 * 5, 24), ReLU(libs),
+    ]
+    head = [Linear(libs, 24, NUM_CLASSES)]
+    return SiameseNet(libs, tower, head, MNIST_SHAPE, NUM_CLASSES)
+
+
+def rnn(libs: LibraryBundle) -> ElmanRNN:
+    return ElmanRNN(libs, input_size=12, hidden_size=24,
+                    num_classes=NUM_CLASSES, steps=6)
+
+
+# -- ImageNet-class configurations -------------------------------------------
+
+
+def alexnet(libs: LibraryBundle) -> SequentialNet:
+    c, h, w = IMAGENET_SHAPE
+    layers = [
+        Conv2D(libs, c, 8, 5), ReLU(libs), MaxPool2D(libs),   # 8 x 6 x 6
+        Conv2D(libs, 8, 16, 3), ReLU(libs),                   # 16 x 4 x 4
+        Conv2D(libs, 16, 16, 3), ReLU(libs),                  # 16 x 2 x 2
+        Flatten(),
+        Linear(libs, 16 * 2 * 2, 64), ReLU(libs),
+        Linear(libs, 64, NUM_CLASSES),
+    ]
+    return SequentialNet(libs, layers, IMAGENET_SHAPE, NUM_CLASSES,
+                         "alexnet")
+
+
+def caffenet(libs: LibraryBundle) -> SequentialNet:
+    """CaffeNet: AlexNet with the pooling/normalisation order swapped."""
+    c, h, w = IMAGENET_SHAPE
+    layers = [
+        Conv2D(libs, c, 8, 5), MaxPool2D(libs), ReLU(libs),
+        Conv2D(libs, 8, 12, 3), ReLU(libs),
+        Flatten(),
+        Linear(libs, 12 * 4 * 4, 64), ReLU(libs),
+        Linear(libs, 64, NUM_CLASSES),
+    ]
+    return SequentialNet(libs, layers, IMAGENET_SHAPE, NUM_CLASSES,
+                         "caffenet")
+
+
+def vgg11(libs: LibraryBundle) -> SequentialNet:
+    """VGG-style: uniform 3x3 convolutions, deep."""
+    c, h, w = IMAGENET_SHAPE
+    layers = [
+        Conv2D(libs, c, 6, 3), ReLU(libs),                    # 6 x 14 x 14
+        Conv2D(libs, 6, 8, 3), ReLU(libs), MaxPool2D(libs),   # 8 x 6 x 6
+        Conv2D(libs, 8, 12, 3), ReLU(libs),                   # 12 x 4 x 4
+        Conv2D(libs, 12, 12, 3), ReLU(libs),                  # 12 x 2 x 2
+        Flatten(),
+        Linear(libs, 12 * 2 * 2, 64), ReLU(libs),
+        Linear(libs, 64, NUM_CLASSES),
+    ]
+    return SequentialNet(libs, layers, IMAGENET_SHAPE, NUM_CLASSES,
+                         "vgg11")
+
+
+def resnet50(libs: LibraryBundle) -> SequentialNet:
+    """ResNet-style: 1x1-conv residual blocks with device-side adds."""
+    c, h, w = IMAGENET_SHAPE
+    stem = Conv2D(libs, c, 8, 3)                              # 8 x 14 x 14
+    layers = [
+        stem, ReLU(libs),
+        Residual(libs, Conv2D(libs, 8, 8, 1)),
+        Residual(libs, Conv2D(libs, 8, 8, 1)),
+        MaxPool2D(libs),                                      # 8 x 7 x 7
+        Conv2D(libs, 8, 12, 3), ReLU(libs),                   # 12 x 5 x 5
+        Residual(libs, Conv2D(libs, 12, 12, 1)),
+        Flatten(),
+        Linear(libs, 12 * 5 * 5, NUM_CLASSES),
+    ]
+    return SequentialNet(libs, layers, IMAGENET_SHAPE, NUM_CLASSES,
+                         "resnet50")
+
+
+def mobilenetv2(libs: LibraryBundle) -> SequentialNet:
+    """MobileNet-style: depthwise + pointwise pairs (launch-heavy)."""
+    c, h, w = IMAGENET_SHAPE
+    layers = [
+        Conv2D(libs, c, 6, 3), ReLU(libs),                    # 6 x 14 x 14
+        DepthwiseConv2D(libs, 6, 3), ReLU(libs),              # 6 x 12 x 12
+        Conv2D(libs, 6, 8, 1), ReLU(libs), MaxPool2D(libs),   # 8 x 6 x 6
+        DepthwiseConv2D(libs, 8, 3), ReLU(libs),              # 8 x 4 x 4
+        Conv2D(libs, 8, 12, 1), ReLU(libs),                   # 12 x 4 x 4
+        Flatten(),
+        Linear(libs, 12 * 4 * 4, NUM_CLASSES),
+    ]
+    return SequentialNet(libs, layers, IMAGENET_SHAPE, NUM_CLASSES,
+                         "mobilenetv2")
+
+
+class _Inception(Layer):
+    """Two 1x1 branches concatenated along channels (D2D copies)."""
+
+    def __init__(self, libs: LibraryBundle, cin: int, c1: int, c2: int):
+        self.libs = libs
+        self.branch1 = Conv2D(libs, cin, c1, 1)
+        self.branch2 = Conv2D(libs, cin, c2, 1)
+        self.c1, self.c2 = c1, c2
+        self._y = None
+        self._dy1 = None
+        self._dy2 = None
+        self._dx = None
+
+    def forward(self, x: DeviceTensor) -> DeviceTensor:
+        y1 = self.branch1.forward(x)
+        y2 = self.branch2.forward(x)
+        n, _, h, w = y1.shape
+        y = self._cache("_y", (n, self.c1 + self.c2, h, w), x.runtime)
+        plane = h * w * 4
+        rt = self.libs.runtime
+        for batch in range(n):
+            rt.cudaMemcpyD2D(
+                y.address + batch * (self.c1 + self.c2) * plane,
+                y1.address + batch * self.c1 * plane, self.c1 * plane)
+            rt.cudaMemcpyD2D(
+                y.address + batch * (self.c1 + self.c2) * plane
+                + self.c1 * plane,
+                y2.address + batch * self.c2 * plane, self.c2 * plane)
+        return y
+
+    def backward(self, dy: DeviceTensor) -> DeviceTensor:
+        n, ctotal, h, w = dy.shape
+        plane = h * w * 4
+        rt = self.libs.runtime
+        dy1 = self._cache("_dy1", (n, self.c1, h, w), dy.runtime)
+        dy2 = self._cache("_dy2", (n, self.c2, h, w), dy.runtime)
+        for batch in range(n):
+            rt.cudaMemcpyD2D(
+                dy1.address + batch * self.c1 * plane,
+                dy.address + batch * ctotal * plane, self.c1 * plane)
+            rt.cudaMemcpyD2D(
+                dy2.address + batch * self.c2 * plane,
+                dy.address + batch * ctotal * plane + self.c1 * plane,
+                self.c2 * plane)
+        dx1 = self.branch1.backward(dy1)
+        dx2 = self.branch2.backward(dy2)
+        dx = self._cache("_dx", dx1.shape, dy.runtime)
+        self.libs.dnn.add(dx.address, dx1.address, dx2.address, dx1.size)
+        return dx
+
+    def parameters(self):
+        return self.branch1.parameters() + self.branch2.parameters()
+
+
+def googlenet(libs: LibraryBundle) -> SequentialNet:
+    """GoogLeNet-style: inception branches + concat."""
+    c, h, w = IMAGENET_SHAPE
+    layers = [
+        Conv2D(libs, c, 6, 3), ReLU(libs), MaxPool2D(libs),   # 6 x 7 x 7
+        _Inception(libs, 6, 4, 4), ReLU(libs),                # 8 x 7 x 7
+        Conv2D(libs, 8, 12, 3), ReLU(libs),                   # 12 x 5 x 5
+        Flatten(),
+        Linear(libs, 12 * 5 * 5, NUM_CLASSES),
+    ]
+    return SequentialNet(libs, layers, IMAGENET_SHAPE, NUM_CLASSES,
+                         "googlenet")
+
+
+#: name -> constructor, the registry benchmarks iterate over.
+MODEL_ZOO: dict[str, Callable[[LibraryBundle], object]] = {
+    "lenet": lenet,
+    "cifar10": cifar10,
+    "cv": cv,
+    "siamese": siamese,
+    "rnn": rnn,
+    "alexnet": alexnet,
+    "caffenet": caffenet,
+    "vgg11": vgg11,
+    "resnet50": resnet50,
+    "mobilenetv2": mobilenetv2,
+    "googlenet": googlenet,
+}
+
+#: Networks the paper runs under Caffe vs PyTorch (framework role).
+CAFFE_MODELS = ("lenet", "siamese", "cifar10", "googlenet", "alexnet",
+                "caffenet")
+PYTORCH_MODELS = ("cv", "rnn", "vgg11", "mobilenetv2", "resnet50")

@@ -1,0 +1,82 @@
+"""Device tensors.
+
+A :class:`DeviceTensor` owns (or views) a device allocation obtained
+through the process runtime — so tensor traffic is ordinary
+``cudaMalloc``/``cudaMemcpy`` traffic, checked by Guardian like any
+other.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime.api import CudaRuntime
+
+_ITEM_BYTES = {"f32": 4, "u32": 4}
+_NP_DTYPES = {"f32": np.float32, "u32": np.uint32}
+
+
+@dataclass
+class DeviceTensor:
+    """A dense tensor in device global memory (row-major)."""
+
+    runtime: CudaRuntime
+    shape: tuple[int, ...]
+    address: int
+    dtype: str = "f32"
+    owns: bool = True
+
+    @classmethod
+    def alloc(cls, runtime: CudaRuntime, shape: tuple[int, ...],
+              dtype: str = "f32") -> "DeviceTensor":
+        size = math.prod(shape) * _ITEM_BYTES[dtype]
+        return cls(runtime=runtime, shape=tuple(shape),
+                   address=runtime.cudaMalloc(size), dtype=dtype)
+
+    @classmethod
+    def from_host(cls, runtime: CudaRuntime,
+                  array: np.ndarray) -> "DeviceTensor":
+        dtype = "u32" if array.dtype.kind in "ui" else "f32"
+        tensor = cls.alloc(runtime, array.shape, dtype)
+        tensor.upload(array)
+        return tensor
+
+    @property
+    def size(self) -> int:
+        return math.prod(self.shape)
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * _ITEM_BYTES[self.dtype]
+
+    def upload(self, array: np.ndarray) -> None:
+        data = np.ascontiguousarray(array, dtype=_NP_DTYPES[self.dtype])
+        if data.size != self.size:
+            raise ValueError(
+                f"upload of {data.size} elements into tensor of "
+                f"{self.size}"
+            )
+        self.runtime.cudaMemcpyH2D(self.address, data.tobytes())
+
+    def download(self) -> np.ndarray:
+        raw = self.runtime.cudaMemcpyD2H(self.address, self.nbytes)
+        return np.frombuffer(raw, dtype=_NP_DTYPES[self.dtype]).reshape(
+            self.shape
+        ).copy()
+
+    def reshape(self, shape: tuple[int, ...]) -> "DeviceTensor":
+        """A view with a different shape over the same device memory."""
+        if math.prod(shape) != self.size:
+            raise ValueError(f"cannot reshape {self.shape} to {shape}")
+        return DeviceTensor(
+            runtime=self.runtime, shape=tuple(shape),
+            address=self.address, dtype=self.dtype, owns=False,
+        )
+
+    def free(self) -> None:
+        if self.owns and self.address:
+            self.runtime.cudaFree(self.address)
+            self.address = 0

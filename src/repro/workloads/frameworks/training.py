@@ -1,0 +1,87 @@
+"""Training and inference loops.
+
+``train`` and ``evaluate`` drive any model from the zoo through the
+standard minibatch loop: H2D upload of images/labels, forward kernels,
+backward kernels, parameter updates, periodic loss readbacks — the
+call stream the paper's Caffe/PyTorch runs produce at scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+from repro.workloads.frameworks.datasets import SyntheticImages
+from repro.workloads.frameworks.networks import SiameseNet
+from repro.workloads.frameworks.tensor import DeviceTensor
+
+
+@dataclass
+class TrainingResult:
+    """What one training run produced."""
+
+    model: str
+    epochs: int
+    batches: int
+    losses: list[float] = field(default_factory=list)
+
+    @property
+    def first_loss(self) -> float:
+        return self.losses[0] if self.losses else float("nan")
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+@dataclass
+class InferenceResult:
+    model: str
+    samples: int
+    accuracy: float
+
+
+def train(model, dataset: SyntheticImages, epochs: int = 1,
+          batch_size: int = 8, lr: float = 0.05) -> TrainingResult:
+    """Run SGD training; returns per-batch losses."""
+    result = TrainingResult(model=model.name, epochs=epochs, batches=0)
+    x_dev = None
+    labels_dev = None
+    runtime = model.libs.runtime
+    for batch in dataset.batches(batch_size, epochs=epochs):
+        if x_dev is None:
+            x_dev = DeviceTensor.alloc(runtime, batch.images.shape)
+            labels_dev = DeviceTensor.alloc(runtime, (batch.size,),
+                                            dtype="u32")
+        x_dev.upload(batch.images)
+        labels_dev.upload(batch.labels)
+        if isinstance(model, SiameseNet):
+            # The siamese pairs each batch with its reversed twin.
+            x2 = DeviceTensor.alloc(runtime, batch.images.shape)
+            x2.upload(batch.images[::-1].copy())
+            loss = model.train_pair_batch(x_dev, x2, labels_dev, lr)
+            x2.free()
+        else:
+            loss = model.train_batch(x_dev, labels_dev, lr)
+        result.losses.append(loss)
+        result.batches += 1
+        runtime.cudaDeviceSynchronize()
+    return result
+
+
+def evaluate(model, dataset: SyntheticImages,
+             batch_size: int = 8) -> InferenceResult:
+    """Inference pass; returns top-1 accuracy on the synthetic data."""
+    correct = 0
+    total = 0
+    x_dev = None
+    runtime = model.libs.runtime
+    for batch in dataset.batches(batch_size, epochs=1):
+        if x_dev is None:
+            x_dev = DeviceTensor.alloc(runtime, batch.images.shape)
+        x_dev.upload(batch.images)
+        predictions = model.infer_batch(x_dev)
+        correct += int((predictions == batch.labels).sum())
+        total += batch.size
+    return InferenceResult(model=model.name, samples=total,
+                           accuracy=correct / max(total, 1))

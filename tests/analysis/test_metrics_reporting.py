@@ -1,0 +1,96 @@
+"""Profiler and reporting tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import Profiler
+from repro.analysis.reporting import (
+    FEATURE_MATRIX,
+    overhead_vs,
+    percent,
+    render_feature_matrix,
+    render_spec_table,
+    render_table,
+)
+from repro.driver.fatbin import build_fatbin
+
+from tests.conftest import saxpy_module, upload_array
+
+
+class TestProfiler:
+    def test_collects_per_kernel(self, native_stack):
+        device, _, runtime = native_stack
+        profiler = Profiler(device)
+        handles = runtime.registerFatBinary(
+            build_fatbin(saxpy_module(), "lib", "11.7"))
+        xs = np.ones(64, dtype=np.float32)
+        x_buf = upload_array(runtime, xs)
+        y_buf = runtime.cudaMalloc(256)
+        for _ in range(3):
+            runtime.cudaLaunchKernel(handles["saxpy"],
+                                     (1, 1, 1), (64, 1, 1),
+                                     [y_buf, x_buf, 1.0, 64])
+        profiles = profiler.collect()
+        assert profiles["saxpy"].launches == 3
+        assert profiles["saxpy"].loads > 0
+        assert 0.0 <= profiles["saxpy"].l1_hit_ratio <= 1.0
+
+    def test_incremental_collection(self, native_stack):
+        device, _, runtime = native_stack
+        profiler = Profiler(device)
+        handles = runtime.registerFatBinary(
+            build_fatbin(saxpy_module(), "lib", "11.7"))
+        buf = runtime.cudaMalloc(256)
+        runtime.cudaLaunchKernel(handles["saxpy"], (1, 1, 1), (32, 1, 1),
+                                 [buf, buf, 1.0, 32])
+        first = profiler.collect()
+        assert first["saxpy"].launches == 1
+        second = profiler.collect()
+        assert second == {}
+
+    def test_overall_aggregation(self, native_stack):
+        device, _, runtime = native_stack
+        profiler = Profiler(device)
+        handles = runtime.registerFatBinary(
+            build_fatbin(saxpy_module(), "lib", "11.7"))
+        buf = runtime.cudaMalloc(256)
+        runtime.cudaLaunchKernel(handles["saxpy"], (1, 1, 1), (32, 1, 1),
+                                 [buf, buf, 1.0, 32])
+        profiles = profiler.collect()
+        overall = Profiler.overall(profiles)
+        assert overall.launches == 1
+        assert overall.total_instructions == (
+            profiles["saxpy"].total_instructions)
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["name", "value"],
+                            [["alpha", 1], ["b", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "alpha" in lines[3]  # title, header, rule, rows
+        assert len(lines) == 5
+
+    def test_spec_table_contains_both_gpus(self):
+        text = render_spec_table()
+        assert "Quadro RTX A4000" in text
+        assert "GeForce RTX 3080 Ti" in text
+        assert "28" in text  # L1 latency
+
+    def test_feature_matrix_guardian_dominates(self):
+        """Table 6's point: Guardian is the only row with every
+        property."""
+        full_rows = [name for name, features in FEATURE_MATRIX.items()
+                     if all(features.values())]
+        assert full_rows == ["Guardian"]
+
+    def test_feature_matrix_renders(self):
+        text = render_feature_matrix()
+        assert "G-NET" in text
+        assert "MASK" in text
+
+    def test_percent_and_overhead(self):
+        assert percent(0.0484) == "4.8%"
+        assert overhead_vs(100.0, 109.0) == pytest.approx(0.09)
+        assert overhead_vs(0.0, 5.0) == 0.0

@@ -1,0 +1,99 @@
+"""Partition bounds table tests (paper §4.2.1)."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.core.bounds_table import PartitionBoundsTable
+from repro.core.policy import FencingMode
+
+BASE = 0x7F_A000_0000_00
+
+
+class TestRecords:
+    def test_register_and_lookup(self):
+        table = PartitionBoundsTable()
+        record = table.register("alice", BASE, 1 << 20)
+        assert table.lookup("alice") is record
+        assert record.end == BASE + (1 << 20)
+        assert record.mask == (1 << 20) - 1
+
+    def test_duplicate_rejected(self):
+        table = PartitionBoundsTable()
+        table.register("alice", BASE, 1 << 20)
+        with pytest.raises(PartitionError):
+            table.register("alice", BASE + (1 << 20), 1 << 20)
+
+    def test_unknown_app(self):
+        table = PartitionBoundsTable()
+        with pytest.raises(PartitionError):
+            table.lookup("ghost")
+
+    def test_misaligned_pow2_rejected(self):
+        table = PartitionBoundsTable()
+        with pytest.raises(PartitionError):
+            table.register("a", BASE + 512, 1 << 20)
+
+    def test_arbitrary_size_allowed(self):
+        # Modulo/checking partitions need not be powers of two.
+        table = PartitionBoundsTable()
+        record = table.register("a", BASE, 3_000_000)
+        assert record.size == 3_000_000
+
+    def test_remove(self):
+        table = PartitionBoundsTable()
+        table.register("a", BASE, 1 << 20)
+        table.remove("a")
+        assert "a" not in table
+        assert len(table) == 0
+
+    def test_contains_range(self):
+        table = PartitionBoundsTable()
+        record = table.register("a", BASE, 4096)
+        assert record.contains(BASE, 4096)
+        assert record.contains(BASE + 4095, 1)
+        assert not record.contains(BASE + 4095, 2)
+        assert not record.contains(BASE - 1, 1)
+
+    def test_owner_of(self):
+        table = PartitionBoundsTable()
+        table.register("a", BASE, 4096)
+        table.register("b", BASE + 4096, 4096)
+        assert table.owner_of(BASE + 100) == "a"
+        assert table.owner_of(BASE + 5000) == "b"
+        assert table.owner_of(BASE + 10_000) is None
+
+
+class TestExtraParams:
+    """The values the server appends at launch time (§4.2.3)."""
+
+    def _record(self):
+        table = PartitionBoundsTable()
+        return table.register("a", BASE, 1 << 20)
+
+    def test_bitwise_params(self):
+        record = self._record()
+        assert record.extra_param_values(FencingMode.BITWISE) == [
+            BASE, (1 << 20) - 1,
+        ]
+
+    def test_modulo_params(self):
+        record = self._record()
+        base, size, magic = record.extra_param_values(FencingMode.MODULO)
+        assert (base, size) == (BASE, 1 << 20)
+        assert magic == (1 << 64) // (1 << 20)
+
+    def test_checking_params(self):
+        record = self._record()
+        assert record.extra_param_values(FencingMode.CHECKING) == [
+            BASE, BASE + (1 << 20),
+        ]
+
+    def test_none_has_no_params(self):
+        record = self._record()
+        assert record.extra_param_values(FencingMode.NONE) == []
+
+    def test_param_order_matches_mode_declaration(self):
+        record = self._record()
+        for mode in FencingMode:
+            values = record.extra_param_values(mode)
+            assert len(values) == len(mode.extra_params)

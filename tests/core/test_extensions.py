@@ -1,0 +1,170 @@
+"""Tests for the implemented paper extensions.
+
+1. **Dynamic partition resizing** — the paper's stated future work
+   (§4.2.1): in-place buddy growth that keeps tenant pointers valid.
+2. **Runaway-kernel termination** — the TReM integration the paper
+   references (§4.3, [53]): the server kills endless kernels and the
+   failure stays contained to the offending tenant.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FencingMode, GuardianSystem
+from repro.errors import GuardianError, PartitionError
+from repro.core.allocator import GuardianAllocator
+from repro.driver.fatbin import build_fatbin
+from repro.ptx.builder import KernelBuilder, build_module
+
+from tests.conftest import saxpy_module
+
+BASE = 0x7F_A000_0000_00
+
+
+class TestGrowPartitionAllocator:
+    def test_grow_doubles_in_place(self):
+        allocator = GuardianAllocator(BASE, 1 << 30)
+        original = allocator.create_partition("a", 1 << 20)
+        grown = allocator.grow_partition("a", 3 << 20)
+        assert grown.base == original.base
+        assert grown.size == 4 << 20
+        record = allocator.bounds.lookup("a")
+        assert record.size == 4 << 20
+        assert record.mask == (4 << 20) - 1
+
+    def test_grow_noop_when_smaller(self):
+        allocator = GuardianAllocator(BASE, 1 << 30)
+        allocator.create_partition("a", 1 << 20)
+        grown = allocator.grow_partition("a", 1 << 18)
+        assert grown.size == 1 << 20
+
+    def test_existing_allocations_survive(self):
+        allocator = GuardianAllocator(BASE, 1 << 30)
+        allocator.create_partition("a", 1 << 20)
+        pointer = allocator.malloc("a", 4096)
+        allocator.grow_partition("a", 2 << 20)
+        record = allocator.bounds.lookup("a")
+        assert record.contains(pointer, 4096)
+        # The old allocation is still owned and freeable.
+        allocator.free("a", pointer)
+
+    def test_new_space_usable(self):
+        allocator = GuardianAllocator(BASE, 1 << 30)
+        allocator.create_partition("a", 1 << 20)
+        with pytest.raises(Exception):
+            allocator.malloc("a", (1 << 20) + 4096)
+        allocator.grow_partition("a", 2 << 20)
+        pointer = allocator.malloc("a", (1 << 20) + 4096)
+        assert allocator.bounds.lookup("a").contains(
+            pointer, (1 << 20) + 4096)
+
+    def test_occupied_buddy_blocks_growth(self):
+        allocator = GuardianAllocator(BASE, 1 << 30)
+        allocator.create_partition("a", 1 << 20)
+        # b lands exactly in a's buddy slot.
+        b = allocator.create_partition("b", 1 << 20)
+        assert b.base == BASE + (1 << 20)
+        with pytest.raises(PartitionError, match="buddy"):
+            allocator.grow_partition("a", 2 << 20)
+
+    def test_high_buddy_cannot_grow_in_place(self):
+        allocator = GuardianAllocator(BASE, 1 << 30)
+        allocator.create_partition("a", 1 << 20)
+        allocator.create_partition("b", 1 << 20)
+        allocator.release_partition("a")
+        # b sits at BASE + 1MB: the *high* buddy of its pair.
+        with pytest.raises(PartitionError, match="high buddy"):
+            allocator.grow_partition("b", 2 << 20)
+
+    def test_multi_doubling(self):
+        allocator = GuardianAllocator(BASE, 1 << 30)
+        allocator.create_partition("a", 1 << 20)
+        grown = allocator.grow_partition("a", 7 << 20)
+        assert grown.size == 8 << 20
+        assert grown.base == BASE
+
+
+class TestGrowPartitionEndToEnd:
+    def test_pointers_survive_and_fencing_widens(self):
+        system = GuardianSystem(mode=FencingMode.BITWISE)
+        tenant = system.attach("app", 1 << 20)
+        data = np.arange(64, dtype=np.float32)
+        pointer = tenant.runtime.cudaMalloc(256)
+        tenant.runtime.cudaMemcpyH2D(pointer, data.tobytes())
+
+        new_size = tenant.client.grow_partition(2 << 20)
+        assert new_size == 2 << 20
+        # Old pointer still works end to end.
+        out = np.frombuffer(tenant.runtime.cudaMemcpyD2H(pointer, 256),
+                            dtype=np.float32)
+        assert np.array_equal(out, data)
+        # New space is allocatable and a sandboxed kernel can use it.
+        big = tenant.runtime.cudaMalloc((1 << 20) + 4096)
+        handles = tenant.runtime.registerFatBinary(
+            build_fatbin(saxpy_module(), "lib", "11.7"))
+        tenant.runtime.cudaMemcpyH2D(
+            big, np.ones(64, dtype=np.float32).tobytes())
+        tenant.runtime.cudaLaunchKernel(
+            handles["saxpy"], (1, 1, 1), (64, 1, 1),
+            [big, pointer, 2.0, 64])
+        result = np.frombuffer(tenant.runtime.cudaMemcpyD2H(big, 256),
+                               dtype=np.float32)
+        assert np.allclose(result, 2.0 * data + 1.0)
+
+    def test_growth_blocked_by_neighbour_tenant(self):
+        system = GuardianSystem()
+        alice = system.attach("alice", 1 << 20)
+        system.attach("bob", 1 << 20)  # occupies alice's buddy
+        with pytest.raises(PartitionError):
+            alice.client.grow_partition(2 << 20)
+
+    def test_isolation_after_growth(self):
+        """The widened mask must still not reach a third tenant."""
+        from tests.conftest import attack_module, make_guardian_tenant
+
+        system = GuardianSystem()
+        alice = system.attach("alice", 1 << 20)
+        alice.client.grow_partition(2 << 20)  # buddy free: grows
+        victim = system.attach("victim", 1 << 20)
+        secret_buf = victim.runtime.cudaMalloc(64)
+        victim.runtime.cudaMemcpyH2D(secret_buf, b"\x77" * 64)
+
+        handles = alice.runtime.registerFatBinary(
+            build_fatbin(attack_module(), "attack", "11.7"))
+        mine = alice.runtime.cudaMalloc(64)
+        alice.runtime.cudaLaunchKernel(
+            handles["writer"], (1, 1, 1), (1, 1, 1),
+            [mine, secret_buf - mine, 0xEE])
+        assert victim.runtime.cudaMemcpyD2H(secret_buf, 64) == (
+            b"\x77" * 64)
+
+
+class TestRunawayTermination:
+    def _spin_fatbin(self):
+        b = KernelBuilder("spin", params=[])
+        forever = b.fresh_label("forever")
+        b.label(forever)
+        b.bra(forever)
+        return build_fatbin(build_module([b.build()]), "spin", "11.7")
+
+    def test_endless_kernel_killed_and_reported(self):
+        system = GuardianSystem()
+        tenant = system.attach("app", 1 << 20)
+        handles = tenant.runtime.registerFatBinary(self._spin_fatbin())
+        with pytest.raises(GuardianError, match="terminated"):
+            tenant.runtime.cudaLaunchKernel(handles["spin"],
+                                            (1, 1, 1), (1, 1, 1), [])
+        assert system.server.stats.kernels_killed == 1
+
+    def test_other_tenants_unaffected(self):
+        system = GuardianSystem()
+        spinner = system.attach("spinner", 1 << 20)
+        worker = system.attach("worker", 1 << 20)
+        handles = spinner.runtime.registerFatBinary(self._spin_fatbin())
+        with pytest.raises(GuardianError):
+            spinner.runtime.cudaLaunchKernel(handles["spin"],
+                                             (1, 1, 1), (1, 1, 1), [])
+        # The worker's path is fully functional afterwards.
+        buffer = worker.runtime.cudaMalloc(64)
+        worker.runtime.cudaMemcpyH2D(buffer, b"ok" * 32)
+        assert worker.runtime.cudaMemcpyD2H(buffer, 64) == b"ok" * 32

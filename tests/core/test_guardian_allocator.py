@@ -1,0 +1,148 @@
+"""Guardian partition allocator tests (paper §4.2.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AllocationError, PartitionError
+from repro.core.allocator import GuardianAllocator
+from repro.core.masks import is_power_of_two
+
+BASE = 0x7F_A000_0000_00
+TOTAL = 1 << 30
+
+
+def make_allocator(require_pow2=True):
+    return GuardianAllocator(BASE, TOTAL,
+                             require_power_of_two=require_pow2)
+
+
+class TestPartitionCarving:
+    def test_rounded_to_power_of_two(self):
+        allocator = make_allocator()
+        partition = allocator.create_partition("a", 3_000_000)
+        assert is_power_of_two(partition.size)
+        assert partition.size >= 3_000_000
+
+    def test_size_aligned(self):
+        allocator = make_allocator()
+        for index, request in enumerate((1 << 20, 1 << 22, 1 << 19)):
+            partition = allocator.create_partition(str(index), request)
+            assert partition.base % partition.size == 0
+
+    def test_partitions_disjoint(self):
+        allocator = make_allocator()
+        partitions = [
+            allocator.create_partition(str(i), 1 << 20) for i in range(8)
+        ]
+        spans = sorted((p.base, p.base + p.size) for p in partitions)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    def test_duplicate_app_rejected(self):
+        allocator = make_allocator()
+        allocator.create_partition("a", 1 << 20)
+        with pytest.raises(PartitionError):
+            allocator.create_partition("a", 1 << 20)
+
+    def test_capacity_exhaustion(self):
+        allocator = make_allocator()
+        allocator.create_partition("a", TOTAL // 2)
+        allocator.create_partition("b", TOTAL // 2)
+        with pytest.raises(PartitionError):
+            allocator.create_partition("c", 1 << 20)
+
+    def test_release_and_reuse(self):
+        allocator = make_allocator()
+        first = allocator.create_partition("a", TOTAL)
+        allocator.release_partition("a")
+        second = allocator.create_partition("b", TOTAL)
+        assert second.base == first.base
+
+    def test_bounds_table_in_sync(self):
+        allocator = make_allocator()
+        allocator.create_partition("a", 1 << 20)
+        record = allocator.bounds.lookup("a")
+        assert record.base == allocator.partition("a").base
+        allocator.release_partition("a")
+        assert "a" not in allocator.bounds
+
+    def test_arbitrary_sizes_when_allowed(self):
+        allocator = make_allocator(require_pow2=False)
+        partition = allocator.create_partition("a", 3_000_000)
+        assert partition.size == 3_000_000
+
+
+class TestTenantAllocation:
+    def test_malloc_inside_partition(self):
+        allocator = make_allocator()
+        allocator.create_partition("a", 1 << 20)
+        record = allocator.bounds.lookup("a")
+        for _ in range(10):
+            address = allocator.malloc("a", 1000)
+            assert record.contains(address, 1000)
+
+    def test_malloc_bounded_by_partition(self):
+        allocator = make_allocator()
+        allocator.create_partition("a", 1 << 20)
+        with pytest.raises(AllocationError, match="partition"):
+            allocator.malloc("a", (1 << 20) + 1)
+
+    def test_free_ownership_checked(self):
+        allocator = make_allocator()
+        allocator.create_partition("a", 1 << 20)
+        allocator.create_partition("b", 1 << 20)
+        address = allocator.malloc("a", 1000)
+        with pytest.raises(AllocationError, match="outside"):
+            allocator.free("b", address)
+
+    def test_free_and_reuse_within_partition(self):
+        allocator = make_allocator()
+        allocator.create_partition("a", 1 << 20)
+        address = allocator.malloc("a", 1 << 20)
+        allocator.free("a", address)
+        assert allocator.malloc("a", 1 << 20) == address
+
+
+class TestProperties:
+    @given(
+        requests=st.lists(
+            st.integers(min_value=1, max_value=TOTAL // 8),
+            min_size=1, max_size=12,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_created_partitions_never_overlap(self, requests):
+        allocator = make_allocator()
+        created = []
+        for index, request in enumerate(requests):
+            try:
+                created.append(
+                    allocator.create_partition(str(index), request)
+                )
+            except PartitionError:
+                continue
+        for i, p in enumerate(created):
+            assert p.base % p.size == 0
+            assert BASE <= p.base
+            assert p.base + p.size <= BASE + TOTAL
+            for q in created[i + 1:]:
+                assert (p.base + p.size <= q.base
+                        or q.base + q.size <= p.base)
+
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=65536),
+            min_size=1, max_size=30,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tenant_allocations_stay_inside(self, sizes):
+        allocator = make_allocator()
+        allocator.create_partition("a", 1 << 22)
+        record = allocator.bounds.lookup("a")
+        for size in sizes:
+            try:
+                address = allocator.malloc("a", size)
+            except AllocationError:
+                break
+            assert record.contains(address, size)

@@ -1,0 +1,171 @@
+"""Mask arithmetic tests — the Fig. 5 invariants, property-checked.
+
+These are the security-critical invariants of the whole system: if the
+fence math is wrong, nothing downstream can save isolation.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PartitionError
+from repro.core import masks
+
+partition_sizes = st.integers(min_value=8, max_value=34).map(
+    lambda exponent: 1 << exponent
+)
+addresses = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+@st.composite
+def aligned_partitions(draw):
+    size = draw(partition_sizes)
+    slot = draw(st.integers(min_value=0, max_value=1 << 20))
+    base = (0x7F_A000_0000_00 + slot * size) & ((1 << 64) - 1)
+    base -= base % size  # size-aligned
+    return base, size
+
+
+class TestPaperExample:
+    def test_fig5_mask(self):
+        """The paper's worked example: 16 MB partition at
+        0x7fa2d0000000 -> mask 0x000000FFFFFF."""
+        size = 16 << 20
+        assert masks.partition_mask(size) == 0x000000FFFFFF
+
+    def test_fig5_wraparound(self):
+        base = 0x7FA2D0000000
+        mask = masks.partition_mask(16 << 20)
+        # End address is base + size - 1 as the paper states.
+        assert base + (16 << 20) - 1 == 0x7FA2D0FFFFFF
+        # An address in a *different* partition wraps into ours.
+        foreign = 0x7FA2C0001234
+        fenced = masks.fence_address(foreign, base, mask)
+        assert base <= fenced <= base + (16 << 20) - 1
+
+
+class TestPowerOfTwo:
+    def test_is_power_of_two(self):
+        assert masks.is_power_of_two(1)
+        assert masks.is_power_of_two(4096)
+        assert not masks.is_power_of_two(0)
+        assert not masks.is_power_of_two(3)
+        assert not masks.is_power_of_two(-8)
+
+    def test_next_power_of_two(self):
+        assert masks.next_power_of_two(1) == 1
+        assert masks.next_power_of_two(5) == 8
+        assert masks.next_power_of_two(4096) == 4096
+        assert masks.next_power_of_two(4097) == 8192
+
+    def test_non_pow2_mask_rejected(self):
+        with pytest.raises(PartitionError):
+            masks.partition_mask(3000)
+
+    def test_misaligned_base_rejected(self):
+        with pytest.raises(PartitionError):
+            masks.check_alignment(0x1000, 0x2000)
+
+
+class TestFenceProperties:
+    @given(aligned_partitions(), addresses)
+    @settings(max_examples=300, deadline=None)
+    def test_fenced_address_always_inside(self, partition, address):
+        """THE invariant: no 64-bit address escapes the partition."""
+        base, size = partition
+        fenced = masks.fence_address(address, base,
+                                     masks.partition_mask(size))
+        assert base <= fenced < base + size
+
+    @given(aligned_partitions(), st.integers(min_value=0))
+    @settings(max_examples=300, deadline=None)
+    def test_legal_addresses_unchanged(self, partition, offset):
+        """Addresses already inside the partition pass through
+        untouched — the zero-false-positive property that makes
+        fencing safe for correct applications."""
+        base, size = partition
+        address = base + offset % size
+        fenced = masks.fence_address(address, base,
+                                     masks.partition_mask(size))
+        assert fenced == address
+
+    @given(aligned_partitions(), addresses)
+    @settings(max_examples=200, deadline=None)
+    def test_fencing_idempotent(self, partition, address):
+        base, size = partition
+        mask = masks.partition_mask(size)
+        once = masks.fence_address(address, base, mask)
+        twice = masks.fence_address(once, base, mask)
+        assert once == twice
+
+    @given(aligned_partitions(), addresses)
+    @settings(max_examples=200, deadline=None)
+    def test_modulo_fence_matches_bitwise_on_pow2(self, partition,
+                                                  address):
+        """For power-of-two partitions the two fencing schemes agree
+        on non-negative offsets (bitwise is the fast path of the same
+        function)."""
+        base, size = partition
+        if address < base:
+            address += ((base - address) // size + 1) * size
+        bitwise = masks.fence_address(address, base,
+                                      masks.partition_mask(size))
+        modulo = masks.modulo_fence(address, base, size)
+        assert bitwise == modulo
+
+    @given(
+        aligned_partitions(),
+        addresses,
+        st.integers(min_value=1, max_value=(1 << 30)),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_modulo_fence_arbitrary_size(self, partition, address,
+                                         odd_extra):
+        """Modulo fencing contains any address for any size (its
+        selling point, paper §4.4)."""
+        base, _ = partition
+        size = odd_extra  # arbitrary, not power of two
+        fenced = masks.modulo_fence(address, base, size)
+        assert base <= fenced < base + size
+
+
+class TestDivisionMagic:
+    @given(partition_sizes, st.integers(0, (1 << 63) - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_magic_reciprocal_quotient(self, size, value):
+        """The q = mulhi(t, magic) estimate is off by at most one —
+        the single-correction property the modulo patch relies on."""
+        magic = masks.division_magic(size)
+        estimate = (value * magic) >> 64
+        exact = value // size
+        assert exact - 1 <= estimate <= exact
+
+    def test_magic_of_zero_rejected(self):
+        with pytest.raises(PartitionError):
+            masks.division_magic(0)
+
+
+class TestInBounds:
+    def test_exact_fit(self):
+        assert masks.in_bounds(100, 28, 100, 28)
+
+    def test_one_past_end(self):
+        assert not masks.in_bounds(100, 29, 100, 28)
+
+    def test_below_base(self):
+        assert not masks.in_bounds(99, 1, 100, 28)
+
+    @given(aligned_partitions(), addresses,
+           st.integers(min_value=1, max_value=16))
+    @settings(max_examples=200, deadline=None)
+    def test_checking_agrees_with_fence_identity(self, partition,
+                                                 address, width):
+        """Address checking accepts exactly the addresses that bitwise
+        fencing leaves unchanged (modulo the width at the end)."""
+        base, size = partition
+        mask = masks.partition_mask(size)
+        fenced_unchanged = (
+            masks.fence_address(address, base, mask) == address
+        )
+        accepted = masks.in_bounds(address, width, base, size)
+        if accepted:
+            assert fenced_unchanged

@@ -1,0 +1,78 @@
+"""Fuzzed transparency: patching must never change a legal kernel.
+
+For randomly generated (but valid, in-partition) kernels, the
+sandboxed variant must produce byte-identical memory effects and the
+same per-thread load/store counts as the native kernel — under every
+fencing mode. This is the other half of the security argument: zero
+false positives.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.masks import division_magic, partition_mask
+from repro.core.patcher import PTXPatcher
+from repro.core.policy import FencingMode
+from repro.gpu.executor import KernelExecutor, compile_kernel
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.specs import QUADRO_RTX_A4000
+
+from tests.ptx.test_roundtrip import random_straightline_kernel
+
+SPEC = QUADRO_RTX_A4000
+BASE = 0x7F_A000_0000_00
+PART = 1 << 20
+
+_EXTRA = {
+    FencingMode.BITWISE: [BASE, partition_mask(PART)],
+    FencingMode.MODULO: [BASE, PART, division_magic(PART)],
+    FencingMode.CHECKING: [BASE, BASE + PART],
+}
+
+
+def _run(kernel, params):
+    memory = GlobalMemory(1 << 22)
+    executor = KernelExecutor(SPEC, memory)
+    compiled = compile_kernel(kernel, SPEC)
+    result = executor.launch(compiled, (1, 1, 1), (32, 1, 1), params)
+    return memory.read(BASE, 4096), result
+
+
+class TestTransparencyFuzz:
+    @given(
+        module=random_straightline_kernel(),
+        mode=st.sampled_from(list(_EXTRA)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_patched_equals_native_for_legal_kernels(self, module, mode):
+        kernel = module.kernels["rk"]
+        native_memory, native = _run(kernel, [BASE, 32, 1.5])
+        patched, report = PTXPatcher(mode).patch_kernel(kernel)
+        patched_memory, sandboxed = _run(
+            patched, [BASE, 32, 1.5] + _EXTRA[mode])
+        assert native_memory == patched_memory
+        assert native.loads + report.loads_instrumented >= native.loads
+        assert sandboxed.stores == native.stores
+        # Instrumentation always costs cycles, never changes results.
+        if report.sites:
+            assert (sandboxed.total_warp_cycles
+                    > native.total_warp_cycles)
+
+    @given(module=random_straightline_kernel())
+    @settings(max_examples=20, deadline=None)
+    def test_double_patching_is_still_contained(self, module):
+        """Patching an already-patched kernel (operator error) must
+        not break containment or validity."""
+        from repro.ptx.builder import build_module
+        from repro.ptx.validator import validate_module
+
+        kernel = module.kernels["rk"]
+        once, _ = PTXPatcher(FencingMode.BITWISE).patch_kernel(kernel)
+        # The reserved register prefix makes double patching an error
+        # the server would catch — never silent corruption.
+        from repro.errors import PatcherError
+
+        with pytest.raises(PatcherError, match="reserved"):
+            PTXPatcher(FencingMode.BITWISE).patch_kernel(once)
+        validate_module(build_module([once]))

@@ -1,0 +1,253 @@
+"""PTX patcher structural tests (paper §4.3, Listing 2)."""
+
+import pytest
+
+from repro.errors import PatcherError
+from repro.core.patcher import PTXPatcher, count_memory_ops
+from repro.core.policy import FencingMode
+from repro.libs.kernels import blas, dnn
+from repro.ptx import emit_module, parse_module, validate_module
+from repro.ptx.ast import Immediate, MemRef, Register
+from repro.ptx.builder import KernelBuilder, build_module
+
+from tests.conftest import saxpy_kernel, saxpy_module, writer_kernel
+
+
+def opcodes_of(kernel):
+    return [i.opcode for i in kernel.instructions()]
+
+
+class TestBitwisePatch:
+    def test_listing2_shape(self):
+        """Patched saxpy must contain the Listing 2 pair before every
+        fenced access: and.b64 with the mask, or.b64 with the base."""
+        patched, report = PTXPatcher(FencingMode.BITWISE).patch_kernel(
+            saxpy_kernel())
+        ops = opcodes_of(patched)
+        assert ops.count("and.b64") == report.sites
+        assert ops.count("or.b64") == report.sites
+        # AND comes immediately before OR, before each access.
+        for index, op in enumerate(ops):
+            if op == "and.b64":
+                assert ops[index + 1] == "or.b64"
+
+    def test_two_extra_params(self):
+        patched, report = PTXPatcher(FencingMode.BITWISE).patch_kernel(
+            saxpy_kernel())
+        assert report.extra_params == 2
+        assert report.extra_param_bytes == 16  # the paper's constant
+        names = [p.name for p in patched.params]
+        assert names[-2].endswith("guardian_base")
+        assert names[-1].endswith("guardian_mask")
+
+    def test_every_memory_access_instrumented(self):
+        kernel = saxpy_kernel()
+        native_accesses = len(list(kernel.memory_accesses()))
+        _, report = PTXPatcher(FencingMode.BITWISE).patch_kernel(kernel)
+        assert report.sites == native_accesses
+
+    def test_param_loads_not_instrumented(self):
+        """ld.param reads the launch buffer, not shared DRAM."""
+        patched, _ = PTXPatcher(FencingMode.BITWISE).patch_kernel(
+            saxpy_kernel())
+        param_loads = [i for i in patched.instructions()
+                       if i.opcode.startswith("ld.param")]
+        # Original params + the two guardian params.
+        assert len(param_loads) == 4 + 2
+
+    def test_shared_accesses_not_instrumented(self):
+        """Shared memory is on-chip and per-block — never fenced."""
+        kernel = [k for k in blas.all_kernels()
+                  if k.name == "cublas_sgemm_tiled"][0]
+        patched, report = PTXPatcher(FencingMode.BITWISE).patch_kernel(
+            kernel)
+        shared_ops = [i for i in patched.instructions()
+                      if i.space == "shared"]
+        original_shared = [i for i in kernel.instructions()
+                           if i.space == "shared"]
+        assert len(shared_ops) == len(original_shared)
+
+    def test_direct_mode_patched_in_place(self):
+        """Register-direct addressing masks the register itself
+        (Listing 2's in-place rewrite)."""
+        b = KernelBuilder("direct", params=[("p", "u64")])
+        pointer = b.load_param_ptr("p")
+        b.st_global("u32", pointer, 7)
+        patched, report = PTXPatcher(FencingMode.BITWISE).patch_kernel(
+            b.build())
+        assert report.direct_sites == 1
+        and_instr = [i for i in patched.instructions()
+                     if i.opcode == "and.b64"][0]
+        store = [i for i in patched.instructions() if i.is_store][0]
+        assert and_instr.operands[0] == store.operands[0].base
+
+    def test_offset_mode_uses_temporary(self):
+        """address+offset materialises the effective address first
+        (the paper's second addressing mode)."""
+        b = KernelBuilder("offset", params=[("p", "u64")])
+        pointer = b.load_param_ptr("p")
+        b.st_global("u32", pointer, 7, offset=8)
+        patched, report = PTXPatcher(FencingMode.BITWISE).patch_kernel(
+            b.build())
+        assert report.offset_sites == 1
+        store = [i for i in patched.instructions() if i.is_store][0]
+        memref = store.operands[0]
+        assert memref.offset == 0  # folded into the temp register
+        adds = [i for i in patched.instructions()
+                if i.opcode == "add.s64"
+                and isinstance(i.operands[2], Immediate)
+                and i.operands[2].value == 8]
+        assert adds
+
+    def test_patched_output_validates(self):
+        patcher = PTXPatcher(FencingMode.BITWISE)
+        patched, _ = patcher.patch_module(saxpy_module())
+        validate_module(patched)
+
+    def test_text_level_roundtrip(self):
+        """The production path: text in (cuobjdump), text out (JIT)."""
+        patcher = PTXPatcher(FencingMode.BITWISE)
+        text, reports = patcher.patch_text(emit_module(saxpy_module()))
+        module = parse_module(text)
+        validate_module(module)
+        assert reports[0].sites > 0
+
+
+class TestCheckingPatch:
+    def test_conditional_checks_emitted(self):
+        patched, report = PTXPatcher(FencingMode.CHECKING).patch_kernel(
+            writer_kernel())
+        ops = opcodes_of(patched)
+        assert "setp.lt.u64" in ops
+        assert "setp.gt.u64" in ops
+        guarded_branches = [i for i in patched.instructions()
+                            if i.base_op == "bra" and i.guard]
+        assert len(guarded_branches) >= 2 * report.sites
+
+    def test_oob_label_returns(self):
+        patched, _ = PTXPatcher(FencingMode.CHECKING).patch_kernel(
+            writer_kernel())
+        labels = patched.labels()
+        assert "$GUARDIAN_OOB" in labels
+
+    def test_extra_params_base_and_end(self):
+        patched, _ = PTXPatcher(FencingMode.CHECKING).patch_kernel(
+            writer_kernel())
+        names = [p.name for p in patched.params]
+        assert names[-1].endswith("guardian_end")
+
+
+class TestModuloPatch:
+    def test_inline_modulo_not_rem(self):
+        """The patch must avoid the 2x-cost rem function call: it uses
+        the multiply-by-reciprocal magic instead (§4.4)."""
+        patched, _ = PTXPatcher(FencingMode.MODULO).patch_kernel(
+            writer_kernel())
+        ops = opcodes_of(patched)
+        assert "mul.hi.u64" in ops
+        assert not any(op.startswith("rem.u64") for op in ops)
+
+    def test_three_extra_params(self):
+        patched, report = PTXPatcher(FencingMode.MODULO).patch_kernel(
+            writer_kernel())
+        assert report.extra_params == 3
+        assert patched.params[-1].name.endswith("guardian_magic")
+
+    def test_correction_step_present(self):
+        patched, _ = PTXPatcher(FencingMode.MODULO).patch_kernel(
+            writer_kernel())
+        ops = opcodes_of(patched)
+        assert "selp.b64" in ops
+
+
+class TestGuardsAndBranches:
+    def test_guarded_store_normalised(self):
+        """@%p st.global ... becomes a branch-around block so fencing
+        code can't corrupt the predicated-off path."""
+        b = KernelBuilder("guarded", params=[("p", "u64")])
+        pointer = b.load_param_ptr("p")
+        pred = b.setp("eq", "u32", Immediate(1), Immediate(1))
+        from repro.ptx.ast import Guard
+
+        b.emit("st.global.u32", MemRef(pointer), Immediate(7),
+               guard=Guard(register=pred.name))
+        patched, _ = PTXPatcher(FencingMode.BITWISE).patch_kernel(
+            b.build())
+        stores = [i for i in patched.instructions() if i.is_store]
+        assert all(i.guard is None for i in stores)
+        validate_module(build_module([patched]))
+
+    def test_brx_index_wrapped(self):
+        b = KernelBuilder("dispatch", params=[("sel", "u32")])
+        selector = b.load_param("sel", "u32")
+        l0, l1 = b.fresh_label("a"), b.fresh_label("b")
+        b.brx_idx(selector, [l0, l1])
+        b.label(l0)
+        b.label(l1)
+        patched, report = PTXPatcher(FencingMode.BITWISE).patch_kernel(
+            b.build())
+        assert report.brx_sites == 1
+        rems = [i for i in patched.instructions()
+                if i.opcode == "rem.u32"]
+        assert rems and rems[0].operands[2] == Immediate(2)
+
+    def test_func_instrumented_like_entry(self):
+        """'Our patcher instruments .func in the same way' (§4.3)."""
+        helper = dnn.helper_func()
+        assert not helper.is_entry
+        patched, report = PTXPatcher(FencingMode.BITWISE).patch_kernel(
+            helper)
+        assert not patched.is_entry
+        assert report.sites > 0
+        assert "and.b64" in opcodes_of(patched)
+
+
+class TestModes:
+    def test_none_mode_is_identity(self):
+        kernel = saxpy_kernel()
+        patched, report = PTXPatcher(FencingMode.NONE).patch_kernel(
+            kernel)
+        assert patched is kernel
+        assert report.extra_instructions == 0
+
+    def test_reserved_prefix_collision_detected(self):
+        bad = parse_module(
+            ".version 7.5\n.target sm_86\n.address_size 64\n"
+            ".visible .entry k()\n{\n.reg .b64 %grd<2>;\nret;\n}"
+        )
+        with pytest.raises(PatcherError, match="reserved"):
+            PTXPatcher(FencingMode.BITWISE).patch_kernel(
+                bad.kernels["k"])
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(PatcherError):
+            PTXPatcher("bitwise")
+
+    @pytest.mark.parametrize("mode", [
+        FencingMode.BITWISE, FencingMode.MODULO, FencingMode.CHECKING,
+    ])
+    def test_all_library_kernels_patch_and_validate(self, mode):
+        module = build_module(blas.all_kernels() + dnn.all_kernels())
+        patched, reports = PTXPatcher(mode).patch_module(module)
+        validate_module(patched)
+        assert len(reports) == len(module.kernels)
+        for report in reports:
+            original = module.kernels[report.kernel]
+            assert report.sites == len(
+                list(original.memory_accesses()))
+
+
+class TestCensus:
+    def test_count_memory_ops(self):
+        census = count_memory_ops(build_module(dnn.all_kernels()))
+        assert census.kernels == 14
+        assert census.funcs == 1
+        assert census.loads > census.stores > 0
+
+    def test_census_matches_patch_reports(self):
+        module = build_module(blas.all_kernels())
+        census = count_memory_ops(module)
+        _, reports = PTXPatcher(FencingMode.BITWISE).patch_module(module)
+        assert census.loads == sum(r.loads_instrumented for r in reports)
+        assert census.stores == sum(
+            r.stores_instrumented for r in reports)

@@ -1,0 +1,34 @@
+"""FencingMode policy tests."""
+
+import pytest
+
+from repro.core.policy import FencingMode
+
+
+class TestFencingMode:
+    def test_four_modes(self):
+        assert {mode.value for mode in FencingMode} == {
+            "none", "bitwise", "modulo", "checking",
+        }
+
+    def test_extra_params_per_mode(self):
+        assert FencingMode.NONE.extra_params == ()
+        assert FencingMode.BITWISE.extra_params == (
+            "guardian_base", "guardian_mask")
+        assert FencingMode.MODULO.extra_params == (
+            "guardian_base", "guardian_size", "guardian_magic")
+        assert FencingMode.CHECKING.extra_params == (
+            "guardian_base", "guardian_end")
+
+    def test_only_bitwise_requires_power_of_two(self):
+        assert FencingMode.BITWISE.requires_power_of_two
+        assert not FencingMode.MODULO.requires_power_of_two
+        assert not FencingMode.CHECKING.requires_power_of_two
+        assert not FencingMode.NONE.requires_power_of_two
+
+    def test_only_checking_detects(self):
+        """Fencing contains silently; checking is the debug mode that
+        can report violations (§4.4)."""
+        detectors = [mode for mode in FencingMode
+                     if mode.detects_violations]
+        assert detectors == [FencingMode.CHECKING]

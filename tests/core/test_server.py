@@ -1,0 +1,243 @@
+"""GuardianServer tests (paper §4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BoundsViolation, GuardianError, LaunchError
+from repro.core.policy import FencingMode
+from repro.core.server import GuardianServer
+from repro.driver.fatbin import build_fatbin
+from repro.gpu.device import Device
+from repro.gpu.specs import QUADRO_RTX_A4000
+
+from tests.conftest import attack_module, saxpy_module
+
+
+@pytest.fixture
+def device():
+    return Device(QUADRO_RTX_A4000)
+
+
+@pytest.fixture
+def server(device):
+    return GuardianServer(device, FencingMode.BITWISE)
+
+
+def attach(server, app_id, size=1 << 20):
+    server.attach(app_id, size)
+    return server.allocator.bounds.lookup(app_id)
+
+
+class TestSetup:
+    def test_reserves_all_device_memory(self, device):
+        server = GuardianServer(device, FencingMode.BITWISE)
+        assert device.allocator.bytes_free == 0
+        assert server.allocator.total_bytes > 0
+
+    def test_forces_ptx_jit(self, server):
+        """Embedded cuBINs must never bypass patched PTX."""
+        assert server.driver.force_ptx_jit
+
+    def test_single_context(self, device, server):
+        assert len(device.contexts) == 1
+
+
+class TestTenantLifecycle:
+    def test_attach_creates_partition_and_stream(self, server):
+        record = attach(server, "alice")
+        assert record.size == 1 << 20
+        assert server.tenant_count == 1
+
+    def test_double_attach_rejected(self, server):
+        attach(server, "alice")
+        with pytest.raises(GuardianError):
+            server.attach("alice", 1 << 20)
+
+    def test_detach_releases_partition(self, server):
+        attach(server, "alice")
+        server.detach("alice")
+        assert server.tenant_count == 0
+        record = attach(server, "bob", 1 << 20)
+        assert record is not None
+
+    def test_tenants_get_distinct_streams(self, server):
+        attach(server, "alice")
+        attach(server, "bob")
+        alice_stream, _ = server.create_stream("alice")
+        bob_stream, _ = server.create_stream("bob")
+        assert alice_stream != bob_stream
+
+
+class TestMemoryOps:
+    def test_malloc_inside_partition(self, server):
+        record = attach(server, "alice")
+        address, _ = server.malloc("alice", 4096)
+        assert record.contains(address, 4096)
+
+    def test_transfer_checks(self, server):
+        attach(server, "alice")
+        attach(server, "mallory")
+        alice_buf, _ = server.malloc("alice", 256)
+        with pytest.raises(BoundsViolation):
+            server.memcpy_h2d("mallory", alice_buf, b"x" * 16)
+        assert server.stats.transfers_rejected == 1
+
+    def test_d2h_source_checked(self, server):
+        attach(server, "alice")
+        attach(server, "mallory")
+        alice_buf, _ = server.malloc("alice", 256)
+        server.memcpy_h2d("alice", alice_buf, b"s3cret!" + b"\x00" * 249)
+        with pytest.raises(BoundsViolation):
+            server.memcpy_d2h("mallory", alice_buf, 256)
+
+    def test_d2d_checks_both_ends(self, server):
+        attach(server, "alice")
+        attach(server, "mallory")
+        alice_buf, _ = server.malloc("alice", 256)
+        mallory_buf, _ = server.malloc("mallory", 256)
+        with pytest.raises(BoundsViolation):
+            server.memcpy_d2d("mallory", mallory_buf, alice_buf, 256)
+        with pytest.raises(BoundsViolation):
+            server.memcpy_d2d("mallory", alice_buf, mallory_buf, 256)
+
+    def test_memset_checked(self, server):
+        attach(server, "alice")
+        attach(server, "mallory")
+        alice_buf, _ = server.malloc("alice", 256)
+        with pytest.raises(BoundsViolation):
+            server.memset("mallory", alice_buf, 0, 256)
+
+    def test_partial_overlap_rejected(self, server):
+        """A transfer straddling the partition end is fenced."""
+        record = attach(server, "alice")
+        tail = record.end - 64
+        with pytest.raises(BoundsViolation):
+            server.memcpy_h2d("alice", tail, b"x" * 128)
+
+    def test_legal_transfer_passes(self, server):
+        attach(server, "alice")
+        buf, _ = server.malloc("alice", 256)
+        server.memcpy_h2d("alice", buf, b"y" * 256)
+        data, _ = server.memcpy_d2h("alice", buf, 256)
+        assert data == b"y" * 256
+
+
+class TestKernelPath:
+    def test_register_patches_and_loads_both_variants(self, server):
+        attach(server, "alice")
+        handles, _ = server.register_fatbin(
+            "alice", build_fatbin(saxpy_module(), "lib", "11.7"))
+        assert "saxpy" in handles
+        assert server.stats.modules_loaded == 2  # sandboxed + native
+        assert server.stats.kernels_patched == 1
+
+    def test_cubin_only_fatbin_rejected(self, server):
+        """Guardian cannot sandbox binaries without PTX."""
+        from repro.driver.fatbin import FatBinary, FatbinEntry
+
+        attach(server, "alice")
+        cubin_only = FatBinary(name="old", entries=[
+            FatbinEntry(kind="cubin", arch="ampere", payload=b"\x00"),
+        ])
+        with pytest.raises(GuardianError, match="cuBIN-only"):
+            server.register_fatbin("alice", cubin_only)
+
+    def test_launch_executes_sandboxed_kernel(self, server, device):
+        attach(server, "alice")
+        handles, _ = server.register_fatbin(
+            "alice", build_fatbin(saxpy_module(), "lib", "11.7"))
+        buf, _ = server.malloc("alice", 512)
+        xs = np.ones(32, dtype=np.float32)
+        server.memcpy_h2d("alice", buf + 256, xs.tobytes())
+        server.launch_kernel("alice", handles["saxpy"],
+                             (1, 1, 1), (32, 1, 1),
+                             [buf, buf + 256, 4.0, 32])
+        data, _ = server.memcpy_d2h("alice", buf, 128)
+        assert np.allclose(np.frombuffer(data, np.float32), 4.0)
+
+    def test_unknown_handle_rejected(self, server):
+        attach(server, "alice")
+        with pytest.raises(LaunchError):
+            server.launch_kernel("alice", 0x9999, (1, 1, 1), (1, 1, 1),
+                                 [])
+
+    def test_handles_are_per_tenant(self, server):
+        attach(server, "alice")
+        attach(server, "bob")
+        fatbin = build_fatbin(saxpy_module(), "lib", "11.7")
+        alice_handles, _ = server.register_fatbin("alice", fatbin)
+        with pytest.raises(LaunchError):
+            server.launch_kernel("bob", alice_handles["saxpy"],
+                                 (1, 1, 1), (1, 1, 1),
+                                 [0, 0, 1.0, 0])
+
+    def test_launch_cost_matches_table5(self, server):
+        """lookup + augment + syscall cycles per launch (Table 5)."""
+        attach(server, "alice")
+        handles, _ = server.register_fatbin(
+            "alice", build_fatbin(saxpy_module(), "lib", "11.7"))
+        buf, _ = server.malloc("alice", 512)
+        _, cycles = server.launch_kernel(
+            "alice", handles["saxpy"], (1, 1, 1), (32, 1, 1),
+            [buf, buf + 256, 1.0, 32])
+        expected = (server.costs.lookup + server.costs.augment
+                    + server.costs.launch_syscall)
+        assert cycles == expected
+
+    def test_noprot_mode_skips_augment(self, device):
+        server = GuardianServer(device, FencingMode.NONE)
+        attach(server, "alice")
+        handles, _ = server.register_fatbin(
+            "alice", build_fatbin(saxpy_module(), "lib", "11.7"))
+        buf, _ = server.malloc("alice", 512)
+        _, cycles = server.launch_kernel(
+            "alice", handles["saxpy"], (1, 1, 1), (32, 1, 1),
+            [buf, buf + 256, 1.0, 32])
+        assert cycles == (server.costs.lookup
+                          + server.costs.launch_syscall)
+        assert server.stats.native_launches == 1
+
+
+class TestStandaloneNativeOptimisation:
+    """'When the gSafeServer detects that an application runs
+    standalone, it issues a native kernel' (§4.2.3)."""
+
+    def test_standalone_uses_native(self, device):
+        server = GuardianServer(device, FencingMode.BITWISE,
+                                standalone_native=True)
+        attach(server, "alice")
+        handles, _ = server.register_fatbin(
+            "alice", build_fatbin(saxpy_module(), "lib", "11.7"))
+        buf, _ = server.malloc("alice", 512)
+        server.launch_kernel("alice", handles["saxpy"],
+                             (1, 1, 1), (32, 1, 1),
+                             [buf, buf + 256, 1.0, 32])
+        assert server.stats.native_launches == 1
+
+    def test_second_tenant_switches_to_sandboxed(self, device):
+        server = GuardianServer(device, FencingMode.BITWISE,
+                                standalone_native=True)
+        attach(server, "alice")
+        handles, _ = server.register_fatbin(
+            "alice", build_fatbin(saxpy_module(), "lib", "11.7"))
+        buf, _ = server.malloc("alice", 512)
+        attach(server, "bob")  # no longer standalone
+        server.launch_kernel("alice", handles["saxpy"],
+                             (1, 1, 1), (32, 1, 1),
+                             [buf, buf + 256, 1.0, 32])
+        assert server.stats.native_launches == 0
+
+
+class TestModuleGlobalsPlacement:
+    def test_globals_live_inside_tenant_partition(self, server):
+        ptx = (
+            ".version 7.5\n.target sm_86\n.address_size 64\n"
+            ".global .align 4 .f32 weights[16];\n"
+            ".visible .entry k()\n{\n.reg .b64 %rd<2>;\n"
+            "mov.u64 %rd1, weights;\nret;\n}"
+        )
+        record = attach(server, "alice")
+        server.load_module_ptx("alice", ptx)
+        # The partition heap gained the global array.
+        partition = server.allocator.partition("alice")
+        assert partition.heap.bytes_in_use >= 64

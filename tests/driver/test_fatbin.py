@@ -1,0 +1,66 @@
+"""fatBIN tests — the paper's Table 1 packaging matrix and cuobjdump."""
+
+import pytest
+
+from repro.errors import DriverError
+from repro.driver.fatbin import (
+    build_fatbin,
+    cuobjdump,
+    describe,
+)
+from repro.ptx import parse_module
+
+from tests.conftest import saxpy_module
+
+
+class TestTable1Matrix:
+    """CUDA version x architecture -> PTX/cuBIN presence (Table 1)."""
+
+    def test_cuda_10_ships_ptx_for_turing(self):
+        fatbin = build_fatbin(saxpy_module(), "lib", "10.2")
+        assert describe(fatbin) == [("ptx", "turing")]
+
+    def test_cuda_11_7_ships_turing_cubin_ampere_ptx(self):
+        fatbin = build_fatbin(saxpy_module(), "lib", "11.7")
+        assert describe(fatbin) == [
+            ("cubin", "turing"), ("ptx", "ampere"),
+        ]
+
+    def test_cuda_12_ships_two_cubins_hopper_ptx(self):
+        fatbin = build_fatbin(saxpy_module(), "lib", "12.0")
+        assert describe(fatbin) == [
+            ("cubin", "turing"), ("cubin", "ampere"), ("ptx", "hopper"),
+        ]
+
+    def test_cuda_11_8_is_the_hopper_tier(self):
+        fatbin = build_fatbin(saxpy_module(), "lib", "11.8")
+        assert ("ptx", "hopper") in describe(fatbin)
+
+
+class TestExtraction:
+    def test_cuobjdump_recovers_ptx(self):
+        fatbin = build_fatbin(saxpy_module(), "lib", "11.7")
+        texts = cuobjdump(fatbin)
+        assert len(texts) == 1
+        module = parse_module(texts[0])
+        assert "saxpy" in module.kernels
+
+    def test_cubin_is_not_ptx_recoverable(self):
+        """The closed-source property: machine code can't be turned
+        back into PTX by extraction tools."""
+        fatbin = build_fatbin(saxpy_module(), "lib", "11.7")
+        cubin = fatbin.cubin_entries()[0]
+        with pytest.raises(DriverError, match="cannot be recovered"):
+            cubin.ptx_text()
+
+    def test_cubin_payload_is_opaque(self):
+        fatbin = build_fatbin(saxpy_module(), "lib", "11.7")
+        payload = fatbin.cubin_entries()[0].payload
+        assert payload.startswith(b"CUBIN\x00")
+        assert b".visible .entry" not in payload
+
+    def test_cubin_for_lookup(self):
+        fatbin = build_fatbin(saxpy_module(), "lib", "12.0")
+        assert fatbin.cubin_for("turing") is not None
+        assert fatbin.cubin_for("ampere") is not None
+        assert fatbin.cubin_for("hopper") is None

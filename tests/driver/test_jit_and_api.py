@@ -1,0 +1,149 @@
+"""Driver JIT and cu* API tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DriverError, PTXError
+from repro.driver.api import DriverAPI
+from repro.driver.fatbin import build_fatbin
+from repro.driver.jit import JIT_CYCLES_PER_KERNEL, jit_compile
+from repro.gpu.device import Device
+from repro.gpu.specs import QUADRO_RTX_A4000
+from repro.ptx import emit_module
+
+from tests.conftest import saxpy_module
+
+
+@pytest.fixture
+def device():
+    return Device(QUADRO_RTX_A4000)
+
+
+@pytest.fixture
+def driver(device):
+    return DriverAPI(device)
+
+
+class TestJIT:
+    def test_compile_from_text(self):
+        compiled = jit_compile(emit_module(saxpy_module()),
+                               QUADRO_RTX_A4000)
+        assert "saxpy" in compiled.kernels
+
+    def test_compile_from_module(self):
+        compiled = jit_compile(saxpy_module(), QUADRO_RTX_A4000)
+        assert compiled.kernels["saxpy"].allocation.virtual_regs > 0
+
+    def test_jit_cost_per_kernel(self):
+        compiled = jit_compile(saxpy_module(), QUADRO_RTX_A4000)
+        assert compiled.jit_cycles == JIT_CYCLES_PER_KERNEL
+
+    def test_invalid_ptx_rejected(self):
+        bad = (".version 7.5\n.target sm_86\n.address_size 64\n"
+               ".visible .entry k()\n{\nmov.u32 %r1, 1;\nret;\n}")
+        with pytest.raises(PTXError):
+            jit_compile(bad, QUADRO_RTX_A4000)
+
+    def test_empty_module_rejected(self):
+        with pytest.raises(PTXError):
+            jit_compile(".version 7.5\n.target sm_86\n"
+                        ".address_size 64\n", QUADRO_RTX_A4000)
+
+
+class TestModuleLoading:
+    def test_load_and_launch(self, device, driver):
+        context = driver.cuCtxCreate("app")
+        module = driver.cuModuleLoadData(
+            context, emit_module(saxpy_module()))
+        function = driver.cuModuleGetFunction(module, "saxpy")
+        addr = driver.cuMemAlloc(context, 4096)
+        xs = np.ones(64, dtype=np.float32)
+        driver.cuMemcpyHtoD(context.default_stream, addr + 2048,
+                            xs.tobytes())
+        driver.cuLaunchKernel(function, (1, 1, 1), (64, 1, 1),
+                              [addr, addr + 2048, 5.0, 64],
+                              context.default_stream)
+        out = np.frombuffer(
+            driver.cuMemcpyDtoH(context.default_stream, addr, 256),
+            dtype=np.float32,
+        )
+        assert np.allclose(out, 5.0)
+
+    def test_unknown_function_rejected(self, driver):
+        context = driver.cuCtxCreate("app")
+        module = driver.cuModuleLoadData(
+            context, emit_module(saxpy_module()))
+        with pytest.raises(DriverError, match="not found"):
+            driver.cuModuleGetFunction(module, "nonexistent")
+
+    def test_function_handles_cached(self, driver):
+        context = driver.cuCtxCreate("app")
+        module = driver.cuModuleLoadData(
+            context, emit_module(saxpy_module()))
+        a = driver.cuModuleGetFunction(module, "saxpy")
+        b = driver.cuModuleGetFunction(module, "saxpy")
+        assert a is b
+
+
+class TestFatbinSelection:
+    def test_matching_cubin_preferred(self, device):
+        driver = DriverAPI(device, force_ptx_jit=False)
+        context = driver.cuCtxCreate("app")
+        # CUDA 12 fatbins carry an *ampere* cuBIN — our device arch.
+        fatbin = build_fatbin(saxpy_module(), "lib", "12.0")
+        driver.cuModuleLoadFatBinary(context, fatbin)
+        assert driver.stats.modules_from_cubin == 1
+
+    def test_force_ptx_jit_ignores_cubin(self, device):
+        """CUDA_FORCE_PTX_JIT: Guardian's guarantee that patched PTX
+        wins over embedded machine code (paper §2.2)."""
+        driver = DriverAPI(device, force_ptx_jit=True)
+        context = driver.cuCtxCreate("app")
+        fatbin = build_fatbin(saxpy_module(), "lib", "12.0")
+        driver.cuModuleLoadFatBinary(context, fatbin)
+        assert driver.stats.modules_from_cubin == 0
+
+    def test_ptx_fallback_when_no_matching_cubin(self, device):
+        driver = DriverAPI(device)
+        context = driver.cuCtxCreate("app")
+        # CUDA 11.7: cuBIN only for turing; ampere device JITs the PTX.
+        fatbin = build_fatbin(saxpy_module(), "lib", "11.7")
+        driver.cuModuleLoadFatBinary(context, fatbin)
+        assert driver.stats.modules_from_cubin == 0
+        assert driver.stats.modules_loaded == 1
+
+
+class TestGlobals:
+    def test_module_globals_allocated(self, device, driver):
+        ptx = (
+            ".version 7.5\n.target sm_86\n.address_size 64\n"
+            ".global .align 4 .f32 table[64];\n"
+            ".visible .entry k()\n{\n.reg .b64 %rd<2>;\n"
+            "mov.u64 %rd1, table;\nret;\n}"
+        )
+        context = driver.cuCtxCreate("app")
+        before = device.allocator.bytes_in_use
+        module = driver.cuModuleLoadData(context, ptx)
+        assert device.allocator.bytes_in_use == before + 256
+        assert "table" in module.global_addresses
+
+    def test_custom_global_placement(self, device, driver):
+        ptx = (
+            ".version 7.5\n.target sm_86\n.address_size 64\n"
+            ".global .align 4 .f32 table[4];\n"
+            ".visible .entry k()\n{\n.reg .b64 %rd<2>;\n"
+            "mov.u64 %rd1, table;\nret;\n}"
+        )
+        context = driver.cuCtxCreate("app")
+        placed = {}
+
+        def place(name, size):
+            placed[name] = size
+            return device.memory.base + 0x9000
+
+        module = driver.cuModuleLoadData(context, ptx,
+                                         allocate_global=place)
+        assert placed == {"table": 16}
+        assert module.global_addresses["table"] == (
+            device.memory.base + 0x9000
+        )

@@ -1,0 +1,106 @@
+"""First-fit allocator tests (the native cudaMalloc substrate)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AllocationError
+from repro.gpu.allocator import FirstFitAllocator
+
+BASE = 0x1000_0000
+
+
+class TestBasics:
+    def test_allocations_disjoint(self):
+        allocator = FirstFitAllocator(BASE, 1 << 20)
+        a = allocator.allocate(1000)
+        b = allocator.allocate(1000)
+        assert abs(a - b) >= 1000
+
+    def test_alignment(self):
+        allocator = FirstFitAllocator(BASE, 1 << 20, alignment=256)
+        for _ in range(5):
+            assert allocator.allocate(100) % 256 == 0
+
+    def test_free_and_reuse(self):
+        allocator = FirstFitAllocator(BASE, 4096)
+        a = allocator.allocate(4096)
+        with pytest.raises(AllocationError):
+            allocator.allocate(1)
+        allocator.free(a)
+        assert allocator.allocate(4096) == a
+
+    def test_coalescing(self):
+        allocator = FirstFitAllocator(BASE, 3 * 256)
+        a = allocator.allocate(256)
+        b = allocator.allocate(256)
+        c = allocator.allocate(256)
+        allocator.free(a)
+        allocator.free(c)
+        allocator.free(b)  # middle free must merge all three
+        assert allocator.allocate(3 * 256) == BASE
+
+    def test_double_free_rejected(self):
+        allocator = FirstFitAllocator(BASE, 4096)
+        a = allocator.allocate(128)
+        allocator.free(a)
+        with pytest.raises(AllocationError):
+            allocator.free(a)
+
+    def test_free_of_garbage_rejected(self):
+        allocator = FirstFitAllocator(BASE, 4096)
+        with pytest.raises(AllocationError):
+            allocator.free(BASE + 64)
+
+    def test_oom_message_mentions_free_bytes(self):
+        allocator = FirstFitAllocator(BASE, 1024)
+        allocator.allocate(512)
+        with pytest.raises(AllocationError, match="free"):
+            allocator.allocate(1024)
+
+    def test_zero_allocation_rejected(self):
+        allocator = FirstFitAllocator(BASE, 4096)
+        with pytest.raises(AllocationError):
+            allocator.allocate(0)
+
+    def test_accounting(self):
+        allocator = FirstFitAllocator(BASE, 1 << 16)
+        allocator.allocate(1000)
+        assert allocator.bytes_in_use == 1024  # rounded to alignment
+        assert allocator.bytes_free == (1 << 16) - 1024
+        assert allocator.live_allocations == 1
+
+
+class TestProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(1, 5000)),
+            min_size=1, max_size=60,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_invariants_under_random_workload(self, ops):
+        """Live allocations never overlap; accounting always balances."""
+        allocator = FirstFitAllocator(BASE, 1 << 18)
+        live: list[tuple[int, int]] = []
+        for is_alloc, size in ops:
+            if is_alloc or not live:
+                try:
+                    addr = allocator.allocate(size)
+                except AllocationError:
+                    continue
+                rounded = allocator.allocation_size(addr)
+                for other_addr, other_size in live:
+                    assert (addr + rounded <= other_addr
+                            or other_addr + other_size <= addr)
+                assert BASE <= addr
+                assert addr + rounded <= BASE + (1 << 18)
+                live.append((addr, rounded))
+            else:
+                addr, size = live.pop()
+                allocator.free(addr)
+            assert allocator.bytes_in_use == sum(s for _, s in live)
+        # Tear down everything: the allocator must return to pristine.
+        for addr, _ in live:
+            allocator.free(addr)
+        assert allocator.bytes_in_use == 0
+        assert allocator.allocate(1 << 18) == BASE

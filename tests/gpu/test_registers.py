@@ -1,0 +1,104 @@
+"""Register allocation / spill modelling tests (Fig. 10 substrate)."""
+
+from repro.core.patcher import PTXPatcher
+from repro.core.policy import FencingMode
+from repro.gpu.registers import allocate, extra_registers
+from repro.ptx.ast import Immediate
+from repro.ptx.builder import KernelBuilder
+
+from tests.conftest import saxpy_kernel
+
+
+class TestAllocation:
+    def test_o0_counts_every_virtual_register(self):
+        kernel = saxpy_kernel()
+        allocation = allocate(kernel, opt_level="O0")
+        # O0: no reuse — slots equal the summed widths of all
+        # non-predicate virtual registers.
+        assert allocation.physical_slots >= allocation.virtual_regs
+
+    def test_o3_never_exceeds_o0(self):
+        kernel = saxpy_kernel()
+        o0 = allocate(kernel, opt_level="O0")
+        o3 = allocate(kernel, opt_level="O3")
+        assert o3.physical_slots <= o0.physical_slots
+
+    def test_64bit_registers_take_two_slots(self):
+        b = KernelBuilder("k", params=[("p", "u64")])
+        pointer = b.load_param("p", "u64")  # one b64 register
+        b.st_global("u32", pointer, 7)
+        allocation = allocate(b.build(), opt_level="O0")
+        assert allocation.physical_slots == 2
+
+    def test_predicates_not_in_budget(self):
+        b = KernelBuilder("k", params=[])
+        value = b.mov("u32", Immediate(1))
+        b.setp("eq", "u32", value, Immediate(1))
+        allocation = allocate(b.build(), opt_level="O0")
+        assert allocation.predicate_regs == 1
+        assert allocation.physical_slots == 1  # only the b32
+
+    def test_dead_register_reused_at_o3(self):
+        """The Fig. 10 effect: registers with disjoint live ranges share
+        a physical register under O3, so extra virtual registers can be
+        free."""
+        b = KernelBuilder("k", params=[("p", "u64")])
+        pointer = b.load_param("p", "u64")
+        early = b.mov("u32", Immediate(1))        # dies immediately
+        b.st_global("u32", pointer, early)
+        late = b.mov("u32", Immediate(2))         # lives after 'early'
+        b.st_global("u32", pointer, late)
+        o3 = allocate(b.build(), opt_level="O3")
+        o0 = allocate(b.build(), opt_level="O0")
+        assert o3.physical_slots < o0.physical_slots
+
+    def test_spill_detection(self):
+        b = KernelBuilder("k", params=[("p", "u64")])
+        pointer = b.load_param("p", "u64")
+        # 300 simultaneously-live registers exceed the 255 budget.
+        regs = [b.mov("u32", Immediate(i)) for i in range(300)]
+        for reg in regs:
+            b.st_global("u32", pointer, reg)
+        allocation = allocate(b.build(), 255, "O3")
+        assert allocation.spills
+        assert allocation.spilled_slots > 0
+
+    def test_constant_bytes_counts_params(self):
+        kernel = saxpy_kernel()
+        allocation = allocate(kernel)
+        # u64 + u64 + f32 + u32 = 24 bytes
+        assert allocation.constant_bytes == 24
+
+
+class TestFencingRegisterPressure:
+    """The paper's claim: bitwise fencing needs only ~2 extra registers
+    and rarely increases the O3 allocation (Fig. 10(b): 71% of kernels
+    +0 registers)."""
+
+    def test_sandboxed_constant_memory_grows_16_bytes(self):
+        kernel = saxpy_kernel()
+        patched, _ = PTXPatcher(FencingMode.BITWISE).patch_kernel(kernel)
+        native = allocate(kernel)
+        sandboxed = allocate(patched)
+        assert sandboxed.constant_bytes - native.constant_bytes == 16
+
+    def test_extra_registers_bounded_at_o0(self):
+        kernel = saxpy_kernel()
+        patched, _ = PTXPatcher(FencingMode.BITWISE).patch_kernel(kernel)
+        native = allocate(kernel, opt_level="O0")
+        sandboxed = allocate(patched, opt_level="O0")
+        # base + mask = two b64 registers = 4 slots at O0.
+        assert 0 <= extra_registers(native, sandboxed) <= 6
+
+    def test_extra_registers_smaller_at_o3(self):
+        kernel = saxpy_kernel()
+        patched, _ = PTXPatcher(FencingMode.BITWISE).patch_kernel(kernel)
+        o0_extra = extra_registers(
+            allocate(kernel, opt_level="O0"),
+            allocate(patched, opt_level="O0"),
+        )
+        o3_extra = extra_registers(
+            allocate(kernel, opt_level="O3"),
+            allocate(patched, opt_level="O3"),
+        )
+        assert o3_extra <= o0_extra

@@ -1,0 +1,115 @@
+"""Property-based timeline scheduler tests.
+
+Scheduling invariants that must hold for *any* task set:
+
+- work conservation: makespan >= total SM work / capacity;
+- no time travel: makespan >= every task's solo duration and release;
+- spatial sharing never loses to time sharing on the same tasks;
+- every task finishes exactly once.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.timeline import GpuTask, Timeline
+
+CAPACITY = 100
+
+
+@st.composite
+def task_sets(draw):
+    count = draw(st.integers(min_value=1, max_value=14))
+    tasks = []
+    for index in range(count):
+        context = draw(st.integers(min_value=1, max_value=3))
+        stream = draw(st.integers(min_value=1, max_value=2))
+        kind = draw(st.sampled_from(["kernel", "kernel", "kernel",
+                                     "h2d", "d2h"]))
+        tasks.append(GpuTask(
+            kind=kind,
+            context_id=context,
+            stream_key=(context, stream),
+            work_cycles=draw(st.floats(min_value=1, max_value=50_000)),
+            demand=draw(st.integers(min_value=1, max_value=200))
+            if kind == "kernel" else 0,
+            fixed_cycles=draw(st.sampled_from([0.0, 10.0, 500.0])),
+            tag=f"app{context}",
+            release=draw(st.sampled_from([0.0, 0.0, 100.0, 5_000.0])),
+        ))
+    return tasks
+
+
+def clone(tasks):
+    return [GpuTask(
+        kind=t.kind, context_id=t.context_id, stream_key=t.stream_key,
+        work_cycles=t.work_cycles, demand=t.demand,
+        fixed_cycles=t.fixed_cycles, tag=t.tag, release=t.release,
+    ) for t in tasks]
+
+
+class TestSchedulerInvariants:
+    @given(task_sets())
+    @settings(max_examples=120, deadline=None)
+    def test_work_conservation(self, tasks):
+        result = Timeline(CAPACITY, spatial=True).run(clone(tasks))
+        sm_work = sum(
+            t.work_cycles + t.fixed_cycles * max(t.demand, 1)
+            for t in tasks if t.kind == "kernel"
+        )
+        assert result.makespan_cycles >= sm_work / CAPACITY - 1e-6
+
+    @given(task_sets())
+    @settings(max_examples=120, deadline=None)
+    def test_solo_duration_lower_bound(self, tasks):
+        result = Timeline(CAPACITY, spatial=True).run(clone(tasks))
+        for task in tasks:
+            if task.kind == "kernel":
+                solo = (task.work_cycles / min(max(task.demand, 1),
+                                               CAPACITY)
+                        + task.fixed_cycles)
+            else:
+                solo = task.work_cycles + task.fixed_cycles
+            assert result.makespan_cycles >= solo - 1e-6
+
+    @given(task_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_releases_respected(self, tasks):
+        copies = clone(tasks)
+        result = Timeline(CAPACITY, spatial=True).run(copies)
+        for task in copies:
+            assert result.task_finish[task.seq] >= task.release - 1e-6
+
+    @given(task_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_spatial_never_loses_to_timeshare(self, tasks):
+        spatial = Timeline(CAPACITY, context_switch_cycles=1000,
+                           spatial=True).run(clone(tasks))
+        shared = Timeline(CAPACITY, context_switch_cycles=1000,
+                          spatial=False).run(clone(tasks))
+        assert (spatial.makespan_cycles
+                <= shared.makespan_cycles + 1e-6)
+
+    @given(task_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_every_task_finishes_once(self, tasks):
+        copies = clone(tasks)
+        result = Timeline(CAPACITY, spatial=True).run(copies)
+        assert set(result.task_finish) == {t.seq for t in copies}
+        for tag in {t.tag for t in copies}:
+            last = max(result.task_finish[t.seq] for t in copies
+                       if t.tag == tag)
+            assert result.completion_by_tag[tag] == last
+
+    @given(task_sets(), st.floats(min_value=0, max_value=1e6))
+    @settings(max_examples=60, deadline=None)
+    def test_start_offset_is_pure_translation(self, tasks, start):
+        """Running at a global start offset shifts nothing in the
+        reported (relative) times when no release falls inside the
+        shifted window."""
+        shifted = clone(tasks)
+        for task in shifted:
+            task.release += start
+        base = Timeline(CAPACITY, spatial=True).run(clone(tasks))
+        moved = Timeline(CAPACITY, spatial=True).run(shifted,
+                                                     start_cycles=start)
+        assert moved.makespan_cycles == base.makespan_cycles or abs(
+            moved.makespan_cycles - base.makespan_cycles) < 1e-6

@@ -1,0 +1,136 @@
+"""Failure injection: the server must stay healthy when tenants fail.
+
+A multi-tenant GPU manager's real test is the unhappy path — tenant
+OOM, malformed binaries, dead clients, killed kernels — none of which
+may disturb other tenants or wedge the server.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GuardianSystem
+from repro.errors import (
+    AllocationError,
+    GuardianError,
+    IPCError,
+    PTXError,
+)
+from repro.driver.fatbin import FatBinary, FatbinEntry, build_fatbin
+
+from tests.conftest import saxpy_module
+
+
+@pytest.fixture
+def system():
+    return GuardianSystem()
+
+
+class TestTenantOOM:
+    def test_oom_contained_to_tenant(self, system):
+        small = system.attach("small", 1 << 16)
+        healthy = system.attach("healthy", 1 << 20)
+        with pytest.raises(AllocationError):
+            small.runtime.cudaMalloc(1 << 20)
+        # The failed tenant keeps working within its budget...
+        assert small.runtime.cudaMalloc(1024) > 0
+        # ...and the neighbour never noticed.
+        buffer = healthy.runtime.cudaMalloc(4096)
+        healthy.runtime.cudaMemcpyH2D(buffer, b"ok" * 2048)
+        assert healthy.runtime.cudaMemcpyD2H(buffer, 4096) == b"ok" * 2048
+
+    def test_partition_exhaustion_message_names_partition(self, system):
+        tenant = system.attach("t", 1 << 16)
+        with pytest.raises(AllocationError, match="partition"):
+            tenant.runtime.cudaMalloc(1 << 20)
+
+    def test_device_capacity_exhaustion(self, system):
+        total = system.server.allocator.total_bytes
+        system.attach("hog", total // 2)
+        from repro.errors import PartitionError
+
+        with pytest.raises(PartitionError):
+            system.attach("late", total)
+
+
+class TestMalformedBinaries:
+    def test_garbage_ptx_rejected_cleanly(self, system):
+        tenant = system.attach("t", 1 << 20)
+        garbage = FatBinary(name="junk", entries=[
+            FatbinEntry(kind="ptx", arch="ampere",
+                        payload=b"this is not ptx at all {"),
+        ])
+        with pytest.raises(Exception):
+            tenant.runtime.registerFatBinary(garbage)
+        # Server still serves the tenant afterwards.
+        assert tenant.runtime.cudaMalloc(256) > 0
+
+    def test_invalid_ptx_rejected_by_jit(self, system):
+        tenant = system.attach("t", 1 << 20)
+        bad = (".version 7.5\n.target sm_86\n.address_size 64\n"
+               ".visible .entry k()\n{\nmov.u32 %r1, 1;\nret;\n}")
+        with pytest.raises(PTXError):
+            tenant.client.load_module_ptx(bad)
+
+    def test_good_binary_after_bad(self, system):
+        tenant = system.attach("t", 1 << 20)
+        with pytest.raises(Exception):
+            tenant.runtime.registerFatBinary(FatBinary(
+                name="junk",
+                entries=[FatbinEntry("ptx", "ampere", b"nope {{{")],
+            ))
+        handles = tenant.runtime.registerFatBinary(
+            build_fatbin(saxpy_module(), "lib", "11.7"))
+        assert "saxpy" in handles
+
+
+class TestDeadClients:
+    def test_calls_after_close_fail_fast(self, system):
+        tenant = system.attach("t", 1 << 20)
+        system.detach("t")
+        with pytest.raises(IPCError):
+            tenant.runtime.cudaMalloc(64)
+
+    def test_partition_recycled_after_detach(self, system):
+        first = system.attach("a", 1 << 20)
+        base_a = system.server.allocator.bounds.lookup("a").base
+        system.detach("a")
+        system.attach("b", 1 << 20)
+        assert system.server.allocator.bounds.lookup("b").base == base_a
+
+    def test_detach_under_load_leaves_others_running(self, system):
+        leaver = system.attach("leaver", 1 << 20)
+        stayer = system.attach("stayer", 1 << 20)
+        handles = stayer.runtime.registerFatBinary(
+            build_fatbin(saxpy_module(), "lib", "11.7"))
+        buffer = stayer.runtime.cudaMalloc(512)
+        system.detach("leaver")
+        stayer.runtime.cudaMemcpyH2D(
+            buffer + 256, np.ones(32, dtype=np.float32).tobytes())
+        stayer.runtime.cudaLaunchKernel(
+            handles["saxpy"], (1, 1, 1), (32, 1, 1),
+            [buffer, buffer + 256, 2.0, 32])
+        out = np.frombuffer(stayer.runtime.cudaMemcpyD2H(buffer, 128),
+                            dtype=np.float32)
+        assert np.allclose(out, 2.0)
+
+
+class TestKilledKernels:
+    def test_server_survives_a_killed_kernel(self, system):
+        from repro.ptx.builder import KernelBuilder, build_module
+
+        spin = KernelBuilder("spin", params=[])
+        label = spin.fresh_label("fw")
+        spin.label(label)
+        spin.bra(label)
+        tenant = system.attach("t", 1 << 20)
+        handles = tenant.runtime.registerFatBinary(
+            build_fatbin(build_module([spin.build()]), "spin", "11.7"))
+        for _ in range(3):
+            with pytest.raises(GuardianError, match="terminated"):
+                tenant.runtime.cudaLaunchKernel(
+                    handles["spin"], (1, 1, 1), (1, 1, 1), [])
+        assert system.server.stats.kernels_killed == 3
+        # The tenant's data path still works.
+        buffer = tenant.runtime.cudaMalloc(64)
+        tenant.runtime.cudaMemcpyH2D(buffer, b"alive" + b"\x00" * 59)
+        assert tenant.runtime.cudaMemcpyD2H(buffer, 5) == b"alive"

@@ -1,0 +1,113 @@
+"""Property-based BLAS tests against numpy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.executor import KernelExecutor, compile_kernel
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.specs import QUADRO_RTX_A4000
+from repro.libs.kernels import blas
+from repro.ptx.builder import build_module
+
+SPEC = QUADRO_RTX_A4000
+BASE = 0x7F_A000_0000_00
+
+_MODULE = build_module(blas.all_kernels())
+_COMPILED = {
+    name: compile_kernel(kernel, SPEC)
+    for name, kernel in _MODULE.kernels.items()
+}
+
+dims = st.integers(min_value=1, max_value=9)
+
+
+def fresh_executor():
+    memory = GlobalMemory(1 << 22)
+    return memory, KernelExecutor(SPEC, memory)
+
+
+class TestGemmProperty:
+    @given(m=dims, n=dims, k=dims, seed=st.integers(0, 2**16),
+           trans_a=st.booleans(), trans_b=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_gemm_matches_numpy(self, m, n, k, seed, trans_a, trans_b):
+        rng = np.random.RandomState(seed)
+        a = rng.randn(m, k).astype(np.float32)
+        b = rng.randn(k, n).astype(np.float32)
+        memory, executor = fresh_executor()
+        a_store = a.T.copy() if trans_a else a
+        b_store = b.T.copy() if trans_b else b
+        memory.write_array(BASE, a_store.ravel())
+        memory.write_array(BASE + 8192, b_store.ravel())
+        sa0, sa1 = (1, m) if trans_a else (k, 1)
+        sb0, sb1 = (1, k) if trans_b else (n, 1)
+        executor.launch(
+            _COMPILED["cublas_sgemm"], (max(1, -(-m * n // 64)), 1, 1),
+            (64, 1, 1),
+            [BASE + 16384, BASE, BASE + 8192, m, n, k,
+             sa0, sa1, sb0, sb1, 1.0, 0.0],
+        )
+        got = memory.read_array(BASE + 16384, m * n).reshape(m, n)
+        assert np.allclose(got, a @ b, atol=1e-3, rtol=1e-3)
+
+    @given(m=st.integers(1, 20), n=st.integers(1, 20),
+           k=st.integers(1, 20), seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_tiled_gemm_matches_numpy(self, m, n, k, seed):
+        rng = np.random.RandomState(seed)
+        a = rng.randn(m, k).astype(np.float32)
+        b = rng.randn(k, n).astype(np.float32)
+        memory, executor = fresh_executor()
+        memory.write_array(BASE, a.ravel())
+        memory.write_array(BASE + 8192, b.ravel())
+        tile = blas.GEMM_TILE
+        grid = (max(1, -(-n // tile)), max(1, -(-m // tile)), 1)
+        executor.launch(
+            _COMPILED["cublas_sgemm_tiled"], grid, (tile, tile, 1),
+            [BASE + 16384, BASE, BASE + 8192, m, n, k],
+        )
+        got = memory.read_array(BASE + 16384, m * n).reshape(m, n)
+        assert np.allclose(got, a @ b, atol=1e-2, rtol=1e-2)
+
+
+class TestReductionsProperty:
+    @given(n=st.integers(1, 400), seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_isamax_matches_numpy(self, n, seed):
+        values = np.random.RandomState(seed).randn(n).astype(np.float32)
+        memory, executor = fresh_executor()
+        memory.write_array(BASE + 8192, values)
+        blocks = max(1, -(-n // blas.REDUCTION_BLOCK))
+        executor.launch(
+            _COMPILED["cublas_isamax_partial"], (blocks, 1, 1),
+            (blas.REDUCTION_BLOCK, 1, 1),
+            [BASE, BASE + 4096, BASE + 8192, n],
+        )
+        partial_values = memory.read_array(BASE, blocks)
+        partial_indices = memory.read_array(BASE + 4096, blocks,
+                                            dtype="b32")
+        winner = int(partial_indices[int(partial_values.argmax())])
+        expected = np.abs(values)
+        # Ties may resolve to any argmax of equal magnitude.
+        assert expected[winner] == pytest.approx(float(expected.max()),
+                                                 rel=1e-5)
+
+    @given(n=st.integers(1, 300), seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_sdot_matches_numpy(self, n, seed):
+        rng = np.random.RandomState(seed)
+        xs = rng.randn(n).astype(np.float32)
+        ys = rng.randn(n).astype(np.float32)
+        memory, executor = fresh_executor()
+        memory.write_array(BASE + 8192, xs)
+        memory.write_array(BASE + 16384, ys)
+        blocks = max(1, -(-n // blas.REDUCTION_BLOCK))
+        executor.launch(
+            _COMPILED["cublas_sdot_partial"], (blocks, 1, 1),
+            (blas.REDUCTION_BLOCK, 1, 1),
+            [BASE, BASE + 8192, BASE + 16384, n],
+        )
+        partials = memory.read_array(BASE, blocks)
+        assert float(partials.sum()) == pytest.approx(
+            float(xs @ ys), rel=1e-2, abs=1e-2)

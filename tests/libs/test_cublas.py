@@ -1,0 +1,152 @@
+"""cuBLAS library tests (numerics + closed-source properties)."""
+
+import numpy as np
+import pytest
+
+from repro.libs.cublas import CuBLAS, cublas_fatbin
+
+from tests.conftest import download_array, upload_array
+
+
+@pytest.fixture
+def blas(native_stack):
+    _, _, runtime = native_stack
+    return runtime, CuBLAS(runtime)
+
+
+class TestLevel1:
+    def test_saxpy(self, blas):
+        runtime, lib = blas
+        xs = np.arange(100, dtype=np.float32)
+        ys = np.ones(100, dtype=np.float32)
+        x_buf, y_buf = upload_array(runtime, xs), upload_array(runtime, ys)
+        lib.saxpy(100, 2.0, x_buf, y_buf)
+        assert np.allclose(download_array(runtime, y_buf, 100),
+                           2.0 * xs + 1.0)
+
+    def test_sscal(self, blas):
+        runtime, lib = blas
+        xs = np.arange(50, dtype=np.float32)
+        buf = upload_array(runtime, xs)
+        lib.sscal(50, -0.5, buf)
+        assert np.allclose(download_array(runtime, buf, 50), -0.5 * xs)
+
+    def test_scopy(self, blas):
+        runtime, lib = blas
+        xs = np.random.RandomState(0).randn(64).astype(np.float32)
+        src = upload_array(runtime, xs)
+        dst = runtime.cudaMalloc(256)
+        lib.scopy(64, src, dst)
+        assert np.array_equal(download_array(runtime, dst, 64), xs)
+
+    def test_sdot(self, blas):
+        runtime, lib = blas
+        rng = np.random.RandomState(1)
+        xs = rng.randn(200).astype(np.float32)
+        ys = rng.randn(200).astype(np.float32)
+        x_buf, y_buf = upload_array(runtime, xs), upload_array(runtime, ys)
+        assert lib.sdot(200, x_buf, y_buf) == pytest.approx(
+            float(xs @ ys), rel=1e-3)
+
+    def test_isamax(self, blas):
+        runtime, lib = blas
+        xs = np.random.RandomState(2).randn(300).astype(np.float32)
+        xs[217] = -50.0
+        buf = upload_array(runtime, xs)
+        assert lib.isamax(300, buf) == 217
+
+    def test_isamax_performs_implicit_calls(self, blas):
+        """The paper's cublasIsamax example: one library call triggers
+        several hidden runtime calls (§1, §4.1)."""
+        runtime, lib = blas
+        xs = np.random.RandomState(3).randn(100).astype(np.float32)
+        buf = upload_array(runtime, xs)
+        calls_before = dict(runtime.profile.calls)
+        lib.isamax(100, buf)
+        delta = {
+            api: runtime.profile.calls.get(api, 0)
+            - calls_before.get(api, 0)
+            for api in ("cudaMalloc", "cudaLaunchKernel",
+                        "cudaMemcpyD2H", "cudaFree")
+        }
+        assert delta["cudaMalloc"] == 2
+        assert delta["cudaLaunchKernel"] == 1
+        assert delta["cudaMemcpyD2H"] == 2
+        assert delta["cudaFree"] == 2
+
+
+class TestGemm:
+    def _matrices(self, m, n, k, seed=0):
+        rng = np.random.RandomState(seed)
+        return (rng.randn(m, k).astype(np.float32),
+                rng.randn(k, n).astype(np.float32))
+
+    def test_plain(self, blas):
+        runtime, lib = blas
+        a, b = self._matrices(5, 7, 6)
+        a_buf = upload_array(runtime, a)
+        b_buf = upload_array(runtime, b)
+        c_buf = runtime.cudaMalloc(5 * 7 * 4)
+        lib.sgemm(5, 7, 6, a_buf, b_buf, c_buf)
+        c = download_array(runtime, c_buf, 35).reshape(5, 7)
+        assert np.allclose(c, a @ b, atol=1e-4)
+
+    def test_trans_a(self, blas):
+        runtime, lib = blas
+        a, b = self._matrices(5, 7, 6, seed=1)
+        a_buf = upload_array(runtime, a.T.copy())  # stored (k, m)
+        b_buf = upload_array(runtime, b)
+        c_buf = runtime.cudaMalloc(5 * 7 * 4)
+        lib.sgemm(5, 7, 6, a_buf, b_buf, c_buf, trans_a=True)
+        c = download_array(runtime, c_buf, 35).reshape(5, 7)
+        assert np.allclose(c, a @ b, atol=1e-4)
+
+    def test_trans_b(self, blas):
+        runtime, lib = blas
+        a, b = self._matrices(4, 6, 5, seed=2)
+        a_buf = upload_array(runtime, a)
+        b_buf = upload_array(runtime, b.T.copy())  # stored (n, k)
+        c_buf = runtime.cudaMalloc(4 * 6 * 4)
+        lib.sgemm(4, 6, 5, a_buf, b_buf, c_buf, trans_b=True)
+        c = download_array(runtime, c_buf, 24).reshape(4, 6)
+        assert np.allclose(c, a @ b, atol=1e-4)
+
+    def test_alpha_beta(self, blas):
+        runtime, lib = blas
+        a, b = self._matrices(3, 3, 3, seed=3)
+        c0 = np.ones((3, 3), dtype=np.float32)
+        a_buf, b_buf = upload_array(runtime, a), upload_array(runtime, b)
+        c_buf = upload_array(runtime, c0)
+        lib.sgemm(3, 3, 3, a_buf, b_buf, c_buf, alpha=2.0, beta=0.5)
+        c = download_array(runtime, c_buf, 9).reshape(3, 3)
+        assert np.allclose(c, 2.0 * (a @ b) + 0.5, atol=1e-4)
+
+    def test_tiled_matches_strided(self, blas):
+        runtime, lib = blas
+        a, b = self._matrices(11, 9, 13, seed=4)
+        a_buf, b_buf = upload_array(runtime, a), upload_array(runtime, b)
+        c_buf = runtime.cudaMalloc(11 * 9 * 4)
+        lib.sgemm_tiled(11, 9, 13, a_buf, b_buf, c_buf)
+        c = download_array(runtime, c_buf, 99).reshape(11, 9)
+        assert np.allclose(c, a @ b, atol=1e-3)
+
+
+class TestClosedSourceProperties:
+    def test_fatbin_has_no_host_source(self):
+        fatbin = cublas_fatbin()
+        assert fatbin.ptx_entries()  # PTX present for patching
+        for entry in fatbin.entries:
+            assert b"def " not in entry.payload  # no Python source
+
+    def test_library_touches_export_tables(self, native_stack):
+        _, _, runtime = native_stack
+        CuBLAS(runtime)
+        assert runtime.profile.calls.get("cudaGetExportTable", 0) >= 2
+
+    def test_library_dlopens_driver(self, native_stack):
+        _, backend, runtime = native_stack
+        CuBLAS(runtime)
+        from repro.runtime.interpose import LIBCUDA
+
+        assert any(soname == LIBCUDA
+                   for soname, _ in runtime.loader.resolutions)

@@ -1,0 +1,210 @@
+"""cuDNN library tests against numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.libs.cudnn import CuDNN
+
+from tests.conftest import download_array, upload_array
+
+
+@pytest.fixture
+def dnn(native_stack):
+    _, _, runtime = native_stack
+    return runtime, CuDNN(runtime)
+
+
+def conv2d_ref(x, w, bias):
+    n, cin, h, win = x.shape
+    cout, _, kh, kw = w.shape
+    oh, ow = h - kh + 1, win - kw + 1
+    out = np.zeros((n, cout, oh, ow), dtype=np.float64)
+    for b in range(n):
+        for oc in range(cout):
+            for oy in range(oh):
+                for ox in range(ow):
+                    window = x[b, :, oy:oy + kh, ox:ox + kw]
+                    out[b, oc, oy, ox] = (window * w[oc]).sum() + bias[oc]
+    return out.astype(np.float32)
+
+
+@pytest.fixture
+def conv_case():
+    rng = np.random.RandomState(5)
+    x = rng.randn(2, 2, 6, 6).astype(np.float32)
+    w = rng.randn(3, 2, 3, 3).astype(np.float32)
+    bias = rng.randn(3).astype(np.float32)
+    return x, w, bias
+
+
+class TestConvolution:
+    def test_forward(self, dnn, conv_case):
+        runtime, lib = dnn
+        x, w, bias = conv_case
+        x_buf = upload_array(runtime, x)
+        w_buf = upload_array(runtime, w)
+        b_buf = upload_array(runtime, bias)
+        y_buf = runtime.cudaMalloc(2 * 3 * 4 * 4 * 4)
+        oh, ow = lib.conv2d_forward(y_buf, x_buf, w_buf, b_buf,
+                                    2, 2, 6, 6, 3, 3, 3)
+        assert (oh, ow) == (4, 4)
+        y = download_array(runtime, y_buf, 96).reshape(2, 3, 4, 4)
+        assert np.allclose(y, conv2d_ref(x, w, bias), atol=1e-3)
+
+    def test_backward_filter(self, dnn, conv_case):
+        runtime, lib = dnn
+        x, w, bias = conv_case
+        rng = np.random.RandomState(6)
+        dy = rng.randn(2, 3, 4, 4).astype(np.float32)
+        x_buf = upload_array(runtime, x)
+        dy_buf = upload_array(runtime, dy)
+        dw_buf = runtime.cudaMalloc(w.size * 4)
+        lib.conv2d_backward_filter(dw_buf, x_buf, dy_buf,
+                                   2, 2, 6, 6, 3, 3, 3)
+        dw = download_array(runtime, dw_buf, w.size).reshape(w.shape)
+        # Numerical reference via correlation.
+        ref = np.zeros_like(w, dtype=np.float64)
+        for oc in range(3):
+            for ic in range(2):
+                for ky in range(3):
+                    for kx in range(3):
+                        ref[oc, ic, ky, kx] = (
+                            x[:, ic, ky:ky + 4, kx:kx + 4]
+                            * dy[:, oc]).sum()
+        assert np.allclose(dw, ref, atol=1e-2)
+
+    def test_backward_data(self, dnn, conv_case):
+        runtime, lib = dnn
+        x, w, bias = conv_case
+        rng = np.random.RandomState(7)
+        dy = rng.randn(2, 3, 4, 4).astype(np.float32)
+        w_buf = upload_array(runtime, w)
+        dy_buf = upload_array(runtime, dy)
+        dx_buf = runtime.cudaMalloc(x.size * 4)
+        lib.conv2d_backward_data(dx_buf, w_buf, dy_buf,
+                                 2, 2, 6, 6, 3, 3, 3)
+        dx = download_array(runtime, dx_buf, x.size).reshape(x.shape)
+        ref = np.zeros_like(x, dtype=np.float64)
+        for b in range(2):
+            for oc in range(3):
+                for oy in range(4):
+                    for ox in range(4):
+                        ref[b, :, oy:oy + 3, ox:ox + 3] += (
+                            w[oc] * dy[b, oc, oy, ox])
+        assert np.allclose(dx, ref, atol=1e-2)
+
+    def test_bias_backward(self, dnn):
+        runtime, lib = dnn
+        dy = np.random.RandomState(8).randn(2, 3, 4, 4).astype(np.float32)
+        dy_buf = upload_array(runtime, dy)
+        db_buf = runtime.cudaMalloc(12)
+        lib.bias_backward(db_buf, dy_buf, 2, 3, 16)
+        db = download_array(runtime, db_buf, 3)
+        assert np.allclose(db, dy.sum(axis=(0, 2, 3)), atol=1e-3)
+
+
+class TestPooling:
+    def test_forward_and_argmax(self, dnn):
+        runtime, lib = dnn
+        x = np.random.RandomState(9).randn(1, 2, 4, 4).astype(np.float32)
+        x_buf = upload_array(runtime, x)
+        y_buf = runtime.cudaMalloc(2 * 2 * 2 * 4)
+        idx_buf = runtime.cudaMalloc(2 * 2 * 2 * 4)
+        lib.maxpool_forward(y_buf, idx_buf, x_buf, 2, 4, 4, 2)
+        y = download_array(runtime, y_buf, 8).reshape(1, 2, 2, 2)
+        ref = x.reshape(1, 2, 2, 2, 2, 2).max(axis=(3, 5))
+        assert np.allclose(y, ref)
+
+    def test_backward_scatters_to_argmax(self, dnn):
+        runtime, lib = dnn
+        x = np.zeros((1, 1, 4, 4), dtype=np.float32)
+        x[0, 0, 1, 2] = 5.0   # argmax of pool (0, 1)
+        x[0, 0, 3, 0] = 4.0   # argmax of pool (1, 0)
+        x_buf = upload_array(runtime, x)
+        y_buf = runtime.cudaMalloc(16)
+        idx_buf = runtime.cudaMalloc(16)
+        lib.maxpool_forward(y_buf, idx_buf, x_buf, 1, 4, 4, 2)
+        dy = np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32)
+        dy_buf = upload_array(runtime, dy)
+        dx_buf = runtime.cudaMalloc(64)
+        lib.maxpool_backward(dx_buf, dy_buf, idx_buf, 4, 16)
+        dx = download_array(runtime, dx_buf, 16).reshape(4, 4)
+        assert dx[1, 2] == 2.0
+        assert dx[3, 0] == 3.0
+        assert dx.sum() == pytest.approx(10.0)
+
+
+class TestActivationsAndLoss:
+    def test_relu_roundtrip(self, dnn):
+        runtime, lib = dnn
+        x = np.array([-2.0, -0.5, 0.0, 1.5], dtype=np.float32)
+        x_buf = upload_array(runtime, x)
+        y_buf = runtime.cudaMalloc(16)
+        lib.relu_forward(y_buf, x_buf, 4)
+        y = download_array(runtime, y_buf, 4)
+        assert np.array_equal(y, np.maximum(x, 0))
+        dy = np.ones(4, dtype=np.float32)
+        dy_buf = upload_array(runtime, dy)
+        dx_buf = runtime.cudaMalloc(16)
+        lib.relu_backward(dx_buf, dy_buf, y_buf, 4)
+        assert np.array_equal(download_array(runtime, dx_buf, 4),
+                              np.array([0, 0, 0, 1], dtype=np.float32))
+
+    def test_tanh(self, dnn):
+        runtime, lib = dnn
+        x = np.linspace(-2, 2, 16).astype(np.float32)
+        x_buf = upload_array(runtime, x)
+        y_buf = runtime.cudaMalloc(64)
+        lib.tanh_forward(y_buf, x_buf, 16)
+        assert np.allclose(download_array(runtime, y_buf, 16),
+                           np.tanh(x), atol=1e-4)
+
+    def test_softmax_xent_grad(self, dnn):
+        runtime, lib = dnn
+        rng = np.random.RandomState(10)
+        logits = rng.randn(4, 6).astype(np.float32)
+        labels = np.array([1, 0, 5, 2], dtype=np.uint32)
+        logits_buf = upload_array(runtime, logits)
+        labels_buf = upload_array(runtime, labels)
+        probs_buf = runtime.cudaMalloc(96)
+        loss_buf = runtime.cudaMalloc(16)
+        grad_buf = runtime.cudaMalloc(96)
+        lib.softmax_xent(probs_buf, loss_buf, grad_buf, logits_buf,
+                         labels_buf, 4, 6, 0.25)
+        exp = np.exp(logits - logits.max(axis=1, keepdims=True))
+        ref_probs = exp / exp.sum(axis=1, keepdims=True)
+        onehot = np.zeros_like(ref_probs)
+        onehot[np.arange(4), labels] = 1.0
+        grad = download_array(runtime, grad_buf, 24).reshape(4, 6)
+        assert np.allclose(grad, (ref_probs - onehot) * 0.25, atol=1e-3)
+        loss = download_array(runtime, loss_buf, 4)
+        ref_loss = -np.log(ref_probs[np.arange(4), labels])
+        assert np.allclose(loss, ref_loss, atol=1e-2)
+
+    def test_sgd_update(self, dnn):
+        runtime, lib = dnn
+        w = np.ones(32, dtype=np.float32)
+        g = np.full(32, 2.0, dtype=np.float32)
+        w_buf, g_buf = upload_array(runtime, w), upload_array(runtime, g)
+        lib.sgd_update(w_buf, g_buf, 0.1, 32)
+        assert np.allclose(download_array(runtime, w_buf, 32), 0.8)
+
+    def test_fill_and_add(self, dnn):
+        runtime, lib = dnn
+        a_buf = runtime.cudaMalloc(64)
+        b_buf = runtime.cudaMalloc(64)
+        z_buf = runtime.cudaMalloc(64)
+        lib.fill(a_buf, 3.0, 16)
+        lib.fill(b_buf, 4.0, 16)
+        lib.add(z_buf, a_buf, b_buf, 16)
+        assert np.allclose(download_array(runtime, z_buf, 16), 7.0)
+
+    def test_add_bias(self, dnn):
+        runtime, lib = dnn
+        y = np.zeros((3, 4), dtype=np.float32)
+        bias = np.array([1, 2, 3, 4], dtype=np.float32)
+        y_buf = upload_array(runtime, y)
+        b_buf = upload_array(runtime, bias)
+        lib.add_bias(y_buf, b_buf, 3, 4)
+        out = download_array(runtime, y_buf, 12).reshape(3, 4)
+        assert np.allclose(out, np.tile(bias, (3, 1)))

@@ -1,0 +1,117 @@
+"""cuRAND and cuFFT library tests."""
+
+import numpy as np
+import pytest
+
+from repro.libs.cufft import CuFFT
+from repro.libs.curand import CuRAND
+
+from tests.conftest import download_array, upload_array
+
+
+@pytest.fixture
+def rng_lib(native_stack):
+    _, _, runtime = native_stack
+    return runtime, CuRAND(runtime, seed=99)
+
+
+@pytest.fixture
+def fft_lib(native_stack):
+    _, _, runtime = native_stack
+    return runtime, CuFFT(runtime)
+
+
+class TestCuRAND:
+    def test_uniform_range_and_moments(self, rng_lib):
+        runtime, lib = rng_lib
+        buf = runtime.cudaMalloc(4096)
+        lib.generate_uniform(buf, 1024)
+        values = download_array(runtime, buf, 1024)
+        assert (values >= 0).all() and (values < 1).all()
+        assert 0.45 < values.mean() < 0.55
+        assert 0.25 < values.std() < 0.33  # ~1/sqrt(12)
+
+    def test_normal_moments(self, rng_lib):
+        runtime, lib = rng_lib
+        buf = runtime.cudaMalloc(4096)
+        lib.generate_normal(buf, 1024, mean=5.0, stddev=2.0)
+        values = download_array(runtime, buf, 1024)
+        assert abs(values.mean() - 5.0) < 0.3
+        assert abs(values.std() - 2.0) < 0.4
+
+    def test_deterministic_per_seed(self, native_stack):
+        _, _, runtime = native_stack
+        a = CuRAND(runtime, seed=7)
+        b = CuRAND(runtime, seed=7)
+        buf_a = runtime.cudaMalloc(256)
+        buf_b = runtime.cudaMalloc(256)
+        a.generate_uniform(buf_a, 64)
+        b.generate_uniform(buf_b, 64)
+        assert np.array_equal(download_array(runtime, buf_a, 64),
+                              download_array(runtime, buf_b, 64))
+
+    def test_successive_fills_differ(self, rng_lib):
+        runtime, lib = rng_lib
+        buf_a = runtime.cudaMalloc(256)
+        buf_b = runtime.cudaMalloc(256)
+        lib.generate_uniform(buf_a, 64)
+        lib.generate_uniform(buf_b, 64)
+        assert not np.array_equal(download_array(runtime, buf_a, 64),
+                                  download_array(runtime, buf_b, 64))
+
+    def test_values_independent_of_grid(self, native_stack):
+        """Counter-based generation: block size must not change the
+        stream."""
+        _, _, runtime = native_stack
+        lib = CuRAND(runtime, seed=3)
+        lib.BLOCK = 32
+        buf_a = runtime.cudaMalloc(512)
+        lib.generate_uniform(buf_a, 128)
+        lib2 = CuRAND(runtime, seed=3)
+        lib2.BLOCK = 128
+        buf_b = runtime.cudaMalloc(512)
+        lib2.generate_uniform(buf_b, 128)
+        assert np.array_equal(download_array(runtime, buf_a, 128),
+                              download_array(runtime, buf_b, 128))
+
+
+class TestCuFFT:
+    def _signal(self, n, seed=11):
+        rng = np.random.RandomState(seed)
+        real = rng.randn(n).astype(np.float32)
+        imag = rng.randn(n).astype(np.float32)
+        interleaved = np.empty(2 * n, dtype=np.float32)
+        interleaved[0::2] = real
+        interleaved[1::2] = imag
+        return interleaved, real + 1j * imag
+
+    def test_forward_matches_numpy(self, fft_lib):
+        runtime, lib = fft_lib
+        interleaved, signal = self._signal(16)
+        in_buf = upload_array(runtime, interleaved)
+        out_buf = runtime.cudaMalloc(interleaved.nbytes)
+        lib.execute(out_buf, in_buf, 16)
+        out = download_array(runtime, out_buf, 32)
+        got = out[0::2] + 1j * out[1::2]
+        assert np.allclose(got, np.fft.fft(signal), atol=1e-2)
+
+    def test_inverse_normalised(self, fft_lib):
+        runtime, lib = fft_lib
+        interleaved, signal = self._signal(8, seed=12)
+        in_buf = upload_array(runtime, interleaved)
+        mid_buf = runtime.cudaMalloc(interleaved.nbytes)
+        out_buf = runtime.cudaMalloc(interleaved.nbytes)
+        lib.execute(mid_buf, in_buf, 8)
+        lib.execute(out_buf, mid_buf, 8, inverse=True)
+        out = download_array(runtime, out_buf, 16)
+        assert np.allclose(out, interleaved, atol=1e-2)
+
+    def test_roundtrip_allocates_scratch(self, fft_lib):
+        runtime, lib = fft_lib
+        interleaved, _ = self._signal(8, seed=13)
+        buf = upload_array(runtime, interleaved)
+        mallocs = runtime.profile.calls.get("cudaMalloc", 0)
+        lib.roundtrip(buf, 8)
+        assert runtime.profile.calls["cudaMalloc"] == mallocs + 1
+        out = download_array(runtime, buf, 16)
+        assert np.allclose(out, interleaved, atol=1e-2)

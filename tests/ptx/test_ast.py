@@ -1,0 +1,119 @@
+"""AST object-model tests."""
+
+import pytest
+
+from repro.ptx.ast import (
+    GlobalDecl,
+    Guard,
+    Immediate,
+    Instruction,
+    Kernel,
+    MemRef,
+    Module,
+    Param,
+    RegDecl,
+    Register,
+    Symbol,
+)
+
+
+class TestOperandRendering:
+    def test_memref_forms(self):
+        assert str(MemRef(Register("%rd1"))) == "[%rd1]"
+        assert str(MemRef(Register("%rd1"), 8)) == "[%rd1+8]"
+        assert str(MemRef(Register("%rd1"), -4)) == "[%rd1-4]"
+        assert str(MemRef(Symbol("param_0"))) == "[param_0]"
+
+    def test_guard_forms(self):
+        assert str(Guard("%p1")) == "@%p1"
+        assert str(Guard("%p2", negated=True)) == "@!%p2"
+
+    def test_instruction_text(self):
+        ins = Instruction(
+            opcode="st.global.u32",
+            operands=(MemRef(Register("%rd4")), Register("%r2")),
+        )
+        assert str(ins) == "st.global.u32 [%rd4], %r2;"
+
+    def test_float_immediate_hex_form(self):
+        assert str(Immediate(1.0)) == "0f3F800000"
+        assert str(Immediate(42)) == "42"
+
+
+class TestInstructionProperties:
+    def test_opcode_decomposition(self):
+        ins = Instruction(opcode="mad.lo.s32")
+        assert ins.base_op == "mad"
+        assert ins.suffixes == ("lo", "s32")
+        assert ins.dtype == "s32"
+        assert ins.space is None
+
+    def test_space_detection(self):
+        assert Instruction(opcode="ld.global.f32").space == "global"
+        assert Instruction(opcode="st.shared.u32").space == "shared"
+        assert Instruction(opcode="ld.param.u64").space == "param"
+
+    def test_memory_access_classification(self):
+        assert Instruction(opcode="ld.global.f32").is_memory_access
+        assert Instruction(opcode="atom.global.add.u32").is_memory_access
+        assert not Instruction(opcode="ld.param.u64").is_memory_access
+        assert not Instruction(opcode="add.u32").is_memory_access
+
+    def test_load_store_flags(self):
+        assert Instruction(opcode="ld.global.f32").is_load
+        assert Instruction(opcode="st.global.f32").is_store
+        assert not Instruction(opcode="st.global.f32").is_load
+
+
+class TestKernelModel:
+    def _kernel(self):
+        return Kernel(
+            name="k",
+            params=[Param("p0", "u64")],
+            body=[
+                RegDecl(reg_type="b32", prefix="%r", count=3),
+                Instruction(opcode="ld.param.u64",
+                            operands=(Register("%r1"),
+                                      MemRef(Symbol("p0")))),
+                Instruction(opcode="ld.global.u32",
+                            operands=(Register("%r2"),
+                                      MemRef(Register("%r1")))),
+                Instruction(opcode="st.shared.u32",
+                            operands=(MemRef(Register("%r1")),
+                                      Register("%r2"))),
+                Instruction(opcode="ret"),
+            ],
+        )
+
+    def test_declared_registers_exclusive_bound(self):
+        kernel = self._kernel()
+        assert kernel.declared_registers() == {"%r1", "%r2"}
+
+    def test_memory_accesses_only_off_chip(self):
+        kernel = self._kernel()
+        accessed = [i.opcode for i in kernel.memory_accesses()]
+        # param loads and shared stores are excluded.
+        assert accessed == ["ld.global.u32"]
+
+    def test_param_width(self):
+        assert Param("x", "u64").width == 8
+        assert Param("x", "f32").width == 4
+
+
+class TestModuleModel:
+    def test_duplicate_rejected(self):
+        module = Module()
+        module.add(Kernel(name="k"))
+        with pytest.raises(ValueError):
+            module.add(Kernel(name="k"))
+
+    def test_entries_vs_funcs(self):
+        module = Module()
+        module.add(Kernel(name="a", is_entry=True))
+        module.add(Kernel(name="b", is_entry=False))
+        assert [k.name for k in module.entries] == ["a"]
+        assert [k.name for k in module.funcs] == ["b"]
+
+    def test_global_decl_size(self):
+        decl = GlobalDecl(name="t", elem_type="f64", num_elems=10)
+        assert decl.size_bytes == 80

@@ -1,0 +1,108 @@
+"""KernelBuilder tests."""
+
+from repro.ptx import emit_module, validate_module
+from repro.ptx.ast import Immediate, Instruction, RegDecl
+from repro.ptx.builder import KernelBuilder, build_module
+
+
+class TestRegisterAllocation:
+    def test_fresh_registers_unique(self):
+        b = KernelBuilder("k", params=[])
+        names = {b.reg("u32").name for _ in range(10)}
+        assert len(names) == 10
+
+    def test_banks_by_type(self):
+        b = KernelBuilder("k", params=[])
+        assert b.reg("u32").name.startswith("%r")
+        assert b.reg("u64").name.startswith("%rd")
+        assert b.reg("f32").name.startswith("%f")
+        assert b.reg("f64").name.startswith("%fd")
+        assert b.reg("pred").name.startswith("%p")
+
+    def test_regdecls_cover_used_registers(self):
+        b = KernelBuilder("k", params=[("n", "u32")])
+        n = b.load_param("n", "u32")
+        b.add("u32", n, 1)
+        kernel = b.build()
+        declared = kernel.declared_registers()
+        for instruction in kernel.instructions():
+            for operand in instruction.operands:
+                if hasattr(operand, "name") and str(operand).startswith(
+                    "%"
+                ):
+                    if operand.__class__.__name__ == "Register":
+                        assert operand.name in declared
+
+
+class TestStructure:
+    def test_trailing_ret_added(self):
+        b = KernelBuilder("k", params=[])
+        kernel = b.build()
+        last = list(kernel.instructions())[-1]
+        assert last.base_op == "ret"
+
+    def test_explicit_ret_not_duplicated(self):
+        b = KernelBuilder("k", params=[])
+        b.ret()
+        kernel = b.build()
+        rets = [i for i in kernel.instructions() if i.base_op == "ret"]
+        assert len(rets) == 1
+
+    def test_param_naming_convention(self):
+        b = KernelBuilder("mykernel", params=[("x", "u64")])
+        assert b.params[0].name == "mykernel_param_x"
+
+    def test_if_less_than_emits_guarded_branch(self):
+        b = KernelBuilder("k", params=[("n", "u32")])
+        n = b.load_param("n", "u32")
+        gid = b.global_thread_id()
+        with b.if_less_than(gid, n):
+            b.mov("u32", Immediate(1))
+        kernel = b.build()
+        guarded = [i for i in kernel.instructions()
+                   if i.guard is not None]
+        assert len(guarded) == 1
+        assert guarded[0].base_op == "bra"
+
+    def test_loop_structure(self):
+        b = KernelBuilder("k", params=[])
+        with b.loop(Immediate(4)):
+            pass
+        kernel = b.build()
+        branches = [i for i in kernel.instructions()
+                    if i.base_op == "bra"]
+        # One guarded exit branch, one back edge.
+        assert len(branches) == 2
+        labels = kernel.labels()
+        assert len(labels) == 2
+
+    def test_shared_array_declared(self):
+        b = KernelBuilder("k", params=[])
+        b.shared_array("tile", "f32", 32)
+        kernel = b.build()
+        shared = [s for s in kernel.body
+                  if s.__class__.__name__ == "SharedDecl"]
+        assert shared[0].size_bytes == 128
+
+    def test_built_kernels_validate(self):
+        b = KernelBuilder("k", params=[("out", "u64"), ("n", "u32")])
+        out = b.load_param_ptr("out")
+        n = b.load_param("n", "u32")
+        gid = b.global_thread_id()
+        with b.if_less_than(gid, n):
+            addr = b.element_addr(out, gid, 4)
+            b.st_global("f32", addr, b.mov("f32", Immediate(1.0)))
+        validate_module(build_module([b.build()]))
+
+    def test_func_builder(self):
+        b = KernelBuilder("helper", params=[("x", "f32")],
+                          is_entry=False)
+        kernel = b.build()
+        assert not kernel.is_entry
+
+    def test_emitted_prologue_matches_nvcc_shape(self):
+        b = KernelBuilder("k", params=[("p", "u64")])
+        b.load_param_ptr("p")
+        text = emit_module(build_module([b.build()]))
+        assert "ld.param.u64" in text
+        assert "cvta.to.global.u64" in text

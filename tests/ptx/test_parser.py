@@ -1,0 +1,213 @@
+"""Parser tests: the paper's Listing-2-style PTX must parse."""
+
+import pytest
+
+from repro.errors import PTXParseError
+from repro.ptx import parse_module
+from repro.ptx.ast import (
+    Immediate,
+    Instruction,
+    MemRef,
+    Register,
+    SpecialReg,
+    Symbol,
+    TargetList,
+)
+
+LISTING_STYLE_PTX = """
+.version 7.5
+.target sm_86
+.address_size 64
+
+.visible .entry kernel(
+    .param .u64 kernel_param_0,
+    .param .u32 kernel_param_1,
+    .param .u64 kernel_base,
+    .param .u64 kernel_mask
+)
+{
+    .reg .b32   %r<3>;
+    .reg .b64   %rd<5>;
+    .reg .b64   %grdreg<3>;
+    ld.param.u64  %rd1, [kernel_param_0];
+    ld.param.u32  %r1, [kernel_param_1];
+    ld.param.u64  %grdreg1, [kernel_base];
+    ld.param.u64  %grdreg2, [kernel_mask];
+    cvta.to.global.u64  %rd2, %rd1;
+    mov.u32  %r2, %tid.x;
+    mul.wide.s32  %rd3, %r1, 4;
+    add.s64  %rd4, %rd2, %rd3;
+    and.b64  %rd4, %rd4, %grdreg2;
+    or.b64   %rd4, %rd4, %grdreg1;
+    st.global.u32  [%rd4], %r2;
+    ret;
+}
+"""
+
+
+class TestListingStylePTX:
+    def test_parses(self):
+        module = parse_module(LISTING_STYLE_PTX)
+        assert "kernel" in module.kernels
+
+    def test_module_directives(self):
+        module = parse_module(LISTING_STYLE_PTX)
+        assert module.version == "7.5"
+        assert module.target == "sm_86"
+        assert module.address_size == 64
+
+    def test_parameters(self):
+        kernel = parse_module(LISTING_STYLE_PTX).kernels["kernel"]
+        assert [p.name for p in kernel.params] == [
+            "kernel_param_0", "kernel_param_1", "kernel_base",
+            "kernel_mask",
+        ]
+        assert kernel.params[1].param_type == "u32"
+
+    def test_fencing_instructions_present(self):
+        kernel = parse_module(LISTING_STYLE_PTX).kernels["kernel"]
+        opcodes = [i.opcode for i in kernel.instructions()]
+        assert "and.b64" in opcodes
+        assert "or.b64" in opcodes
+
+    def test_store_operands(self):
+        kernel = parse_module(LISTING_STYLE_PTX).kernels["kernel"]
+        store = [i for i in kernel.instructions() if i.is_store][0]
+        memref, source = store.operands
+        assert isinstance(memref, MemRef)
+        assert memref.base == Register("%rd4")
+        assert source == Register("%r2")
+
+
+class TestOperandParsing:
+    def _instr(self, text):
+        module = parse_module(
+            ".version 7.5\n.target sm_86\n.address_size 64\n"
+            ".visible .entry k()\n{\n"
+            ".reg .b32 %r<9>;\n.reg .b64 %rd<9>;\n.reg .pred %p<3>;\n"
+            f"{text}\nret;\n}}"
+        )
+        return list(module.kernels["k"].instructions())[0]
+
+    def test_immediate_decimal(self):
+        ins = self._instr("mov.u32 %r1, 42;")
+        assert ins.operands[1] == Immediate(42)
+
+    def test_immediate_hex(self):
+        ins = self._instr("mov.u64 %rd1, 0xFFFFFF;")
+        assert ins.operands[1] == Immediate(0xFFFFFF)
+
+    def test_immediate_negative(self):
+        ins = self._instr("mov.u32 %r1, -7;")
+        assert ins.operands[1] == Immediate(-7)
+
+    def test_immediate_float_hex(self):
+        ins = self._instr("mov.f32 %r1, 0f3F800000;")
+        assert ins.operands[1] == Immediate(1.0)
+
+    def test_immediate_double_hex(self):
+        ins = self._instr("mov.f64 %rd1, 0d3FF0000000000000;")
+        assert ins.operands[1] == Immediate(1.0)
+
+    def test_memref_offset_positive(self):
+        ins = self._instr("ld.global.u32 %r1, [%rd1+8];")
+        assert ins.operands[1] == MemRef(Register("%rd1"), 8)
+
+    def test_memref_offset_negative(self):
+        ins = self._instr("ld.global.u32 %r1, [%rd1-4];")
+        assert ins.operands[1] == MemRef(Register("%rd1"), -4)
+
+    def test_special_register(self):
+        ins = self._instr("mov.u32 %r1, %ctaid.x;")
+        assert ins.operands[1] == SpecialReg("%ctaid.x")
+
+    def test_guard_positive(self):
+        ins = self._instr("@%p1 mov.u32 %r1, 1;")
+        assert ins.guard is not None
+        assert ins.guard.register == "%p1"
+        assert not ins.guard.negated
+
+    def test_guard_negated(self):
+        ins = self._instr("@!%p2 mov.u32 %r1, 1;")
+        assert ins.guard.negated
+
+    def test_setp_comparison(self):
+        ins = self._instr("setp.ge.s32 %p1, %r1, %r2;")
+        assert ins.base_op == "setp"
+        assert ins.suffixes[0] == "ge"
+
+    def test_brx_target_list(self):
+        module = parse_module(
+            ".version 7.5\n.target sm_86\n.address_size 64\n"
+            ".visible .entry k()\n{\n.reg .b32 %r<2>;\n"
+            "L0:\nL1:\nbrx.idx %r1, {L0, L1};\nret;\n}"
+        )
+        ins = list(module.kernels["k"].instructions())[0]
+        assert ins.operands[1] == TargetList(("L0", "L1"))
+
+
+class TestStructure:
+    def test_func_vs_entry(self):
+        module = parse_module(
+            ".version 7.5\n.target sm_86\n.address_size 64\n"
+            ".visible .entry main_k()\n{\nret;\n}\n"
+            ".func helper()\n{\nret;\n}\n"
+        )
+        assert module.kernels["main_k"].is_entry
+        assert not module.kernels["helper"].is_entry
+        assert len(module.entries) == 1
+        assert len(module.funcs) == 1
+
+    def test_global_declaration(self):
+        module = parse_module(
+            ".version 7.5\n.target sm_86\n.address_size 64\n"
+            ".global .align 4 .f32 lookup_table[256];\n"
+            ".visible .entry k()\n{\nret;\n}\n"
+        )
+        assert len(module.globals) == 1
+        decl = module.globals[0]
+        assert decl.name == "lookup_table"
+        assert decl.size_bytes == 1024
+
+    def test_shared_declaration(self):
+        module = parse_module(
+            ".version 7.5\n.target sm_86\n.address_size 64\n"
+            ".visible .entry k()\n{\n"
+            ".shared .align 4 .f32 tile[64];\nret;\n}\n"
+        )
+        kernel = module.kernels["k"]
+        shared = [s for s in kernel.body
+                  if s.__class__.__name__ == "SharedDecl"]
+        assert shared[0].size_bytes == 256
+
+    def test_comments_stripped(self):
+        module = parse_module(
+            "// leading comment\n"
+            ".version 7.5\n.target sm_86\n.address_size 64\n"
+            "/* block\ncomment */\n"
+            ".visible .entry k()\n{\n"
+            "ret; // trailing\n}\n"
+        )
+        assert "k" in module.kernels
+
+    def test_duplicate_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            parse_module(
+                ".version 7.5\n.target sm_86\n.address_size 64\n"
+                ".visible .entry k()\n{\nret;\n}\n"
+                ".visible .entry k()\n{\nret;\n}\n"
+            )
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(PTXParseError):
+            parse_module(
+                ".version 7.5\n.target sm_86\n.address_size 64\n"
+                ".visible .entry k()\n{\nmov.u32 %r1, 1\n}\n"
+            )
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(KeyError):
+            parse_module(
+                ".version 7.5\n.target sm_86\n.address_size 64\n"
+                ".visible .entry k()\n{\nzorble.u32 %r1, 1;\nret;\n}\n"
+            )

@@ -1,0 +1,109 @@
+"""Validator tests — the ptxas-reject behaviour the threat model leans
+on (direct branches are safe *because* the assembler verifies labels)."""
+
+import pytest
+
+from repro.errors import PTXValidationError
+from repro.ptx import parse_module, validate_module
+
+_HEADER = ".version 7.5\n.target sm_86\n.address_size 64\n"
+
+
+def _module(body: str, params: str = ""):
+    return parse_module(
+        f"{_HEADER}.visible .entry k({params})\n{{\n{body}\n}}"
+    )
+
+
+class TestRegisterValidation:
+    def test_undeclared_register_rejected(self):
+        module = _module("mov.u32 %r1, 1;\nret;")
+        with pytest.raises(PTXValidationError, match="undeclared"):
+            validate_module(module)
+
+    def test_declared_register_accepted(self):
+        module = _module(".reg .b32 %r<2>;\nmov.u32 %r1, 1;\nret;")
+        validate_module(module)
+
+    def test_register_count_is_exclusive_bound(self):
+        # .reg .b32 %r<2> declares only %r1.
+        module = _module(".reg .b32 %r<2>;\nmov.u32 %r2, 1;\nret;")
+        with pytest.raises(PTXValidationError):
+            validate_module(module)
+
+    def test_undeclared_guard_rejected(self):
+        module = _module(
+            ".reg .b32 %r<2>;\n@%p1 mov.u32 %r1, 1;\nret;"
+        )
+        with pytest.raises(PTXValidationError, match="predicate"):
+            validate_module(module)
+
+    def test_undeclared_address_register_rejected(self):
+        module = _module(
+            ".reg .b32 %r<2>;\nld.global.u32 %r1, [%rd9];\nret;"
+        )
+        with pytest.raises(PTXValidationError):
+            validate_module(module)
+
+
+class TestBranchValidation:
+    def test_direct_branch_to_known_label(self):
+        module = _module("bra DONE;\nDONE:\nret;")
+        validate_module(module)
+
+    def test_direct_branch_to_unknown_label_rejected(self):
+        # The assembler-reports-errors property of the threat model.
+        module = _module("bra NOWHERE;\nret;")
+        with pytest.raises(PTXValidationError, match="unknown label"):
+            validate_module(module)
+
+    def test_brx_targets_must_exist(self):
+        module = _module(
+            ".reg .b32 %r<2>;\nA:\nbrx.idx %r1, {A, MISSING};\nret;"
+        )
+        with pytest.raises(PTXValidationError, match="unknown labels"):
+            validate_module(module)
+
+    def test_brx_with_valid_targets(self):
+        module = _module(
+            ".reg .b32 %r<2>;\nmov.u32 %r1, 0;\nA:\nB:\n"
+            "brx.idx %r1, {A, B};\nret;"
+        )
+        validate_module(module)
+
+
+class TestSymbolValidation:
+    def test_param_reference_accepted(self):
+        module = _module(
+            ".reg .b64 %rd<2>;\nld.param.u64 %rd1, [k_p0];\nret;",
+            params=".param .u64 k_p0",
+        )
+        validate_module(module)
+
+    def test_unknown_symbol_rejected(self):
+        module = _module(
+            ".reg .b64 %rd<2>;\nld.param.u64 %rd1, [ghost];\nret;"
+        )
+        with pytest.raises(PTXValidationError, match="unknown symbol"):
+            validate_module(module)
+
+    def test_global_symbol_accepted(self):
+        module = parse_module(
+            _HEADER
+            + ".global .align 4 .f32 table[8];\n"
+            + ".visible .entry k()\n{\n.reg .b64 %rd<2>;\n"
+            + "mov.u64 %rd1, table;\nret;\n}"
+        )
+        validate_module(module)
+
+    def test_shared_symbol_accepted(self):
+        module = _module(
+            ".shared .align 4 .f32 tile[16];\n.reg .b64 %rd<2>;\n"
+            "mov.u64 %rd1, tile;\nret;"
+        )
+        validate_module(module)
+
+    def test_error_names_kernel(self):
+        module = _module("mov.u32 %r1, 1;\nret;")
+        with pytest.raises(PTXValidationError, match="'k'"):
+            validate_module(module)

@@ -1,0 +1,111 @@
+"""CUDA runtime API tests: call surface and host-cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeAPIError
+from repro.driver.fatbin import build_fatbin
+from repro.runtime.api import HostCostModel, MemcpyKind
+
+from tests.conftest import saxpy_module
+
+
+class TestMemoryAPI:
+    def test_malloc_free_cycle(self, native_stack):
+        _, _, runtime = native_stack
+        address = runtime.cudaMalloc(1024)
+        runtime.cudaFree(address)
+        address2 = runtime.cudaMalloc(1024)
+        assert address2 == address
+
+    def test_malloc_zero_rejected(self, native_stack):
+        _, _, runtime = native_stack
+        with pytest.raises(RuntimeAPIError):
+            runtime.cudaMalloc(0)
+
+    def test_memcpy_roundtrip(self, native_stack):
+        _, _, runtime = native_stack
+        address = runtime.cudaMalloc(64)
+        runtime.cudaMemcpyH2D(address, b"a" * 64)
+        assert runtime.cudaMemcpyD2H(address, 64) == b"a" * 64
+
+    def test_memcpy_d2d(self, native_stack):
+        _, _, runtime = native_stack
+        src = runtime.cudaMalloc(64)
+        dst = runtime.cudaMalloc(64)
+        runtime.cudaMemcpyH2D(src, b"z" * 64)
+        runtime.cudaMemcpyD2D(dst, src, 64)
+        assert runtime.cudaMemcpyD2H(dst, 64) == b"z" * 64
+
+    def test_memset(self, native_stack):
+        _, _, runtime = native_stack
+        address = runtime.cudaMalloc(32)
+        runtime.cudaMemset(address, 0x7F, 32)
+        assert runtime.cudaMemcpyD2H(address, 32) == b"\x7f" * 32
+
+    def test_dispatch_form(self, native_stack):
+        _, _, runtime = native_stack
+        address = runtime.cudaMalloc(16)
+        runtime.cudaMemcpy(MemcpyKind.H2D, dst=address, data=b"b" * 16)
+        out = runtime.cudaMemcpy(MemcpyKind.D2H, src=address, size=16)
+        assert out == b"b" * 16
+
+
+class TestKernelAPI:
+    def test_register_and_launch(self, native_stack):
+        _, _, runtime = native_stack
+        handles = runtime.registerFatBinary(
+            build_fatbin(saxpy_module(), "lib", "11.7"))
+        assert "saxpy" in handles
+        address = runtime.cudaMalloc(512)
+        runtime.cudaMemcpyH2D(
+            address + 256, np.ones(32, dtype=np.float32).tobytes())
+        runtime.cudaLaunchKernel(handles["saxpy"], (1, 1, 1), (32, 1, 1),
+                                 [address, address + 256, 2.0, 32])
+        out = np.frombuffer(runtime.cudaMemcpyD2H(address, 128),
+                            dtype=np.float32)
+        assert np.allclose(out, 2.0)
+
+    def test_stream_creation(self, native_stack):
+        _, _, runtime = native_stack
+        first = runtime.cudaStreamCreate()
+        second = runtime.cudaStreamCreate()
+        assert first != second
+
+    def test_device_properties(self, native_stack):
+        device, _, runtime = native_stack
+        assert runtime.cudaGetDeviceProperties() is device.spec
+
+
+class TestHostCosts:
+    def test_every_call_charged(self, native_stack):
+        _, _, runtime = native_stack
+        runtime.cudaMalloc(64)
+        runtime.cudaDeviceSynchronize()
+        calls = runtime.profile.calls
+        assert calls["cudaMalloc"] == 1
+        assert calls["cudaDeviceSynchronize"] == 1
+        assert runtime.profile.cycles > 0
+
+    def test_host_seconds_conversion(self, native_stack):
+        _, _, runtime = native_stack
+        runtime.cudaMalloc(64)
+        costs = HostCostModel()
+        assert runtime.host_seconds() == pytest.approx(
+            runtime.profile.cycles / (costs.cpu_ghz * 1e9))
+
+    def test_surface_costs_are_thin(self):
+        """The runtime surface is bookkeeping; the 9000-cycle launch
+        syscall lives in the driver layer (Table 5 split)."""
+        costs = HostCostModel()
+        assert costs.launch < 1000
+
+    def test_driver_cost_charged_by_backend(self, native_stack):
+        _, backend, runtime = native_stack
+        handles = runtime.registerFatBinary(
+            build_fatbin(saxpy_module(), "lib", "11.7"))
+        address = runtime.cudaMalloc(256)
+        before = backend.profile.cycles
+        runtime.cudaLaunchKernel(handles["saxpy"], (1, 1, 1), (32, 1, 1),
+                                 [address, address, 1.0, 16])
+        assert backend.profile.cycles - before == backend.costs.launch

@@ -1,0 +1,59 @@
+"""cudaGetExportTable tests — the undocumented corner of the runtime."""
+
+import pytest
+
+from repro.errors import DriverError
+from repro.runtime.export_table import (
+    EXPORT_TABLE_UUIDS,
+    TOTAL_EXPORTED_FUNCTIONS,
+    build_export_tables,
+)
+
+
+class TestTableInventory:
+    def test_seven_tables(self):
+        # "about seven export tables" (paper §4.1).
+        assert len(EXPORT_TABLE_UUIDS) == 7
+
+    def test_more_than_ninety_functions(self):
+        # "...containing more than 90 functions".
+        assert TOTAL_EXPORTED_FUNCTIONS > 90
+
+    def test_tables_built_to_size(self, native_stack):
+        _, backend, _ = native_stack
+        tables = build_export_tables(backend)
+        total = sum(len(table) for table in tables.values())
+        assert total == TOTAL_EXPORTED_FUNCTIONS
+
+
+class TestTableBehaviour:
+    def test_runtime_exposes_tables(self, native_stack):
+        _, _, runtime = native_stack
+        table = runtime.cudaGetExportTable(EXPORT_TABLE_UUIDS[0])
+        assert callable(table["ctxLocalStorageGet"])
+
+    def test_unknown_uuid_rejected(self, native_stack):
+        _, _, runtime = native_stack
+        with pytest.raises(DriverError):
+            runtime.cudaGetExportTable("0000-not-a-table")
+
+    def test_occupancy_uses_device_spec(self, native_stack):
+        device, _, runtime = native_stack
+        table = runtime.cudaGetExportTable(EXPORT_TABLE_UUIDS[4])
+        blocks = table["occupancyMaxActiveBlocks"](128)
+        assert blocks == device.spec.max_resident_warps * 32 // 128
+
+    def test_hidden_functions_callable(self, native_stack):
+        _, _, runtime = native_stack
+        for uuid in EXPORT_TABLE_UUIDS:
+            table = runtime.cudaGetExportTable(uuid)
+            for function in table.values():
+                function()  # every entry must be invocable
+
+    def test_guardian_serves_same_tables(self, guardian_system):
+        from tests.conftest import make_guardian_tenant
+
+        _, server = guardian_system
+        _, runtime = make_guardian_tenant(server, "t0")
+        table = runtime.cudaGetExportTable(EXPORT_TABLE_UUIDS[1])
+        assert table["primaryCtxRetain"]() == 1

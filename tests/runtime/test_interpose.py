@@ -1,0 +1,63 @@
+"""dlopen / LD_PRELOAD simulation tests."""
+
+import pytest
+
+from repro.runtime.interpose import (
+    LIBCUDA,
+    DynamicLoader,
+    LinkError,
+)
+
+
+class TestDynamicLoader:
+    def test_register_and_dlopen(self):
+        loader = DynamicLoader()
+        marker = object()
+        loader.register(LIBCUDA, marker)
+        assert loader.dlopen(LIBCUDA) is marker
+
+    def test_missing_library(self):
+        loader = DynamicLoader()
+        with pytest.raises(LinkError):
+            loader.dlopen("libnothing.so")
+
+    def test_preload_shadows_original(self):
+        loader = DynamicLoader()
+        original, shim = object(), object()
+        loader.register(LIBCUDA, original)
+        loader.preload(LIBCUDA, shim)
+        assert loader.dlopen(LIBCUDA) is shim
+
+    def test_preload_without_original(self):
+        # LD_PRELOAD works even when the original isn't present.
+        loader = DynamicLoader()
+        shim = object()
+        loader.preload(LIBCUDA, shim)
+        assert loader.dlopen(LIBCUDA) is shim
+
+    def test_resolution_audit_trail(self):
+        loader = DynamicLoader()
+        loader.register(LIBCUDA, object())
+        loader.dlopen(LIBCUDA)
+        loader.preload(LIBCUDA, object())
+        loader.dlopen(LIBCUDA)
+        assert loader.resolutions == [(LIBCUDA, False), (LIBCUDA, True)]
+
+    def test_ordering_constraint(self):
+        """A binding resolved *before* the preload keeps the original —
+        the reason Guardian must be preloaded at application startup
+        (paper §4.1)."""
+        loader = DynamicLoader()
+        original, shim = object(), object()
+        loader.register(LIBCUDA, original)
+        early_binding = loader.dlopen(LIBCUDA)   # resolved pre-preload
+        loader.preload(LIBCUDA, shim)
+        late_binding = loader.dlopen(LIBCUDA)
+        assert early_binding is original
+        assert late_binding is shim
+
+    def test_is_preloaded(self):
+        loader = DynamicLoader()
+        assert not loader.is_preloaded(LIBCUDA)
+        loader.preload(LIBCUDA, object())
+        assert loader.is_preloaded(LIBCUDA)

@@ -1,0 +1,61 @@
+"""Standalone-overhead runs (the Fig. 8/9 machinery)."""
+
+import pytest
+
+from repro.sharing.standalone import (
+    STANDALONE_CONFIGS,
+    run_standalone,
+    run_standalone_suite,
+)
+from repro.sharing.workload_mixes import _ml_workload
+
+
+class TestConfigs:
+    def test_config_inventory(self):
+        assert STANDALONE_CONFIGS == (
+            "native", "noprot", "bitwise", "modulo", "checking",
+        )
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError):
+            run_standalone(lambda runtime: None, "mystery")
+
+
+class TestOverheadShape:
+    """The paper's §6.2 ordering, asserted on a small lenet run."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_standalone_suite(
+            lambda: _ml_workload("lenet", epochs=1, seed=0,
+                                 samples=16, batch=16),
+            max_blocks=4,
+        )
+
+    def test_all_configs_ran(self, results):
+        assert set(results) == set(STANDALONE_CONFIGS)
+
+    def test_interception_overhead_small(self, results):
+        """noprot within ~15% of native (paper: 3.7-10%)."""
+        overhead = results["noprot"] / results["native"] - 1
+        assert -0.02 <= overhead < 0.15
+
+    def test_bitwise_cheapest_protection(self, results):
+        assert results["bitwise"] <= results["modulo"]
+        assert results["bitwise"] <= results["checking"]
+
+    def test_bitwise_overhead_in_paper_band(self, results):
+        """Fencing totals 4%-15% over native (paper: 5.9%-12%)."""
+        overhead = results["bitwise"] / results["native"] - 1
+        assert 0.0 < overhead < 0.20
+
+    def test_modulo_markedly_worse(self, results):
+        """Modulo fencing ~29% over native in the paper."""
+        overhead = results["modulo"] / results["native"] - 1
+        assert overhead > results["bitwise"] / results["native"] - 1
+
+    def test_checking_most_expensive(self, results):
+        """Conditional checks are the costliest mode (1.7x native in
+        the paper)."""
+        assert results["checking"] == max(results.values())
+        assert results["checking"] / results["native"] > 1.25

@@ -1,0 +1,173 @@
+"""Mini-framework tests: tensors, layers, datasets."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.frameworks import LibraryBundle
+from repro.workloads.frameworks.datasets import (
+    SyntheticImages,
+    dataset_for,
+    mnist_like,
+)
+from repro.workloads.frameworks.layers import (
+    Conv2D,
+    Flatten,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    SoftmaxCrossEntropy,
+)
+from repro.workloads.frameworks.tensor import DeviceTensor
+
+
+@pytest.fixture
+def libs(native_stack):
+    _, _, runtime = native_stack
+    return LibraryBundle.create(runtime)
+
+
+class TestDeviceTensor:
+    def test_roundtrip(self, libs):
+        data = np.random.RandomState(0).randn(3, 4).astype(np.float32)
+        tensor = DeviceTensor.from_host(libs.runtime, data)
+        assert np.array_equal(tensor.download(), data)
+
+    def test_u32_dtype_inferred(self, libs):
+        labels = np.array([1, 2, 3], dtype=np.uint32)
+        tensor = DeviceTensor.from_host(libs.runtime, labels)
+        assert tensor.dtype == "u32"
+        assert np.array_equal(tensor.download(), labels)
+
+    def test_reshape_shares_memory(self, libs):
+        data = np.arange(12, dtype=np.float32)
+        tensor = DeviceTensor.from_host(libs.runtime, data)
+        view = tensor.reshape((3, 4))
+        assert view.address == tensor.address
+        assert not view.owns
+
+    def test_bad_reshape_rejected(self, libs):
+        tensor = DeviceTensor.alloc(libs.runtime, (4,))
+        with pytest.raises(ValueError):
+            tensor.reshape((5,))
+
+    def test_upload_size_checked(self, libs):
+        tensor = DeviceTensor.alloc(libs.runtime, (4,))
+        with pytest.raises(ValueError):
+            tensor.upload(np.zeros(5, dtype=np.float32))
+
+    def test_free_releases(self, libs):
+        tensor = DeviceTensor.alloc(libs.runtime, (1024,))
+        tensor.free()
+        assert tensor.address == 0
+
+
+class TestLayersAgainstNumpy:
+    def test_linear_forward(self, libs):
+        layer = Linear(libs, 6, 4)
+        x = np.random.RandomState(1).randn(3, 6).astype(np.float32)
+        x_dev = DeviceTensor.from_host(libs.runtime, x)
+        y = layer.forward(x_dev).download()
+        w = layer.w.download()
+        b = layer.b.download()
+        assert np.allclose(y, x @ w + b, atol=1e-3)
+
+    def test_linear_backward_gradients(self, libs):
+        layer = Linear(libs, 5, 3)
+        rng = np.random.RandomState(2)
+        x = rng.randn(4, 5).astype(np.float32)
+        dy = rng.randn(4, 3).astype(np.float32)
+        x_dev = DeviceTensor.from_host(libs.runtime, x)
+        layer.forward(x_dev)
+        dx = layer.backward(
+            DeviceTensor.from_host(libs.runtime, dy)).download()
+        w = layer.w.download()
+        assert np.allclose(dx, dy @ w.T, atol=1e-3)
+        assert np.allclose(layer.dw.download(), x.T @ dy, atol=1e-3)
+        assert np.allclose(layer.db.download(), dy.sum(axis=0),
+                           atol=1e-3)
+
+    def test_conv_shapes(self, libs):
+        layer = Conv2D(libs, cin=2, cout=4, kernel=3)
+        x = DeviceTensor.from_host(
+            libs.runtime,
+            np.random.RandomState(3).randn(2, 2, 8, 8).astype(
+                np.float32))
+        y = layer.forward(x)
+        assert y.shape == (2, 4, 6, 6)
+        dx = layer.backward(y)
+        assert dx.shape == x.shape
+
+    def test_pool_relu_flatten_pipeline(self, libs):
+        x = np.random.RandomState(4).randn(2, 3, 4, 4).astype(np.float32)
+        x_dev = DeviceTensor.from_host(libs.runtime, x)
+        pool = MaxPool2D(libs, 2)
+        relu = ReLU(libs)
+        flat = Flatten()
+        out = flat.forward(relu.forward(pool.forward(x_dev)))
+        assert out.shape == (2, 12)
+        ref = np.maximum(
+            x.reshape(2, 3, 2, 2, 2, 2).max(axis=(3, 5)), 0
+        ).reshape(2, 12)
+        assert np.allclose(out.download(), ref)
+
+    def test_loss_head(self, libs):
+        head = SoftmaxCrossEntropy(libs)
+        logits = np.random.RandomState(5).randn(4, 10).astype(np.float32)
+        labels = np.array([0, 3, 7, 9], dtype=np.uint32)
+        loss = head.forward(
+            DeviceTensor.from_host(libs.runtime, logits),
+            DeviceTensor.from_host(libs.runtime, labels),
+        )
+        exp = np.exp(logits - logits.max(axis=1, keepdims=True))
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        ref = float(-np.log(probs[np.arange(4), labels]).mean())
+        assert loss == pytest.approx(ref, rel=1e-2)
+
+    def test_workspace_cached_across_batches(self, libs):
+        layer = ReLU(libs)
+        x = DeviceTensor.from_host(
+            libs.runtime, np.ones((2, 4), dtype=np.float32))
+        first = layer.forward(x)
+        second = layer.forward(x)
+        assert first.address == second.address  # reused workspace
+
+
+class TestDatasets:
+    def test_deterministic(self):
+        a = SyntheticImages(16, (1, 8, 8), seed=5)
+        b = SyntheticImages(16, (1, 8, 8), seed=5)
+        assert np.array_equal(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_batching_drops_ragged_tail(self):
+        data = mnist_like(samples=20)
+        batches = list(data.batches(8))
+        assert len(batches) == 2
+        assert all(batch.size == 8 for batch in batches)
+
+    def test_epochs_multiply_batches(self):
+        data = mnist_like(samples=16)
+        assert len(list(data.batches(8, epochs=3))) == 6
+
+    def test_labels_in_range(self):
+        data = SyntheticImages(64, (3, 8, 8), classes=10, seed=1)
+        assert data.labels.max() < 10
+
+    def test_dataset_for_rnn_shape(self):
+        data = dataset_for((6, 12), samples=8)
+        batch = next(data.batches(4))
+        assert batch.images.shape == (4, 6, 12)
+
+    def test_signal_is_learnable(self):
+        """Same-class images correlate more than cross-class ones."""
+        data = SyntheticImages(200, (1, 12, 12), seed=3)
+        flat = data.images.reshape(200, -1)
+        same, cross = [], []
+        for i in range(0, 60):
+            for j in range(i + 1, 60):
+                corr = float(np.dot(flat[i], flat[j]))
+                if data.labels[i] == data.labels[j]:
+                    same.append(corr)
+                else:
+                    cross.append(corr)
+        assert np.mean(same) > np.mean(cross)

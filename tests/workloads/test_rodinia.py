@@ -1,0 +1,112 @@
+"""Rodinia application tests (correctness + call-stream properties)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.rodinia import (
+    RODINIA_APPS,
+    GaussianApp,
+    HotspotApp,
+    LavaMDApp,
+    ParticleFilterApp,
+    rodinia_fatbin,
+)
+
+
+class TestGaussian:
+    def test_solves_system(self, native_stack):
+        _, _, runtime = native_stack
+        app = GaussianApp(runtime, size=12)
+        app.run()
+        assert app.verify() < 1e-2
+
+    def test_kernel_stream_shape(self, native_stack):
+        """2*(size-1) kernel launches per solve — the launch-heavy
+        pattern that stresses sharing servers (§6.1)."""
+        device, _, runtime = native_stack
+        app = GaussianApp(runtime, size=10)
+        before = device.metrics.kernels_launched
+        app.run()
+        assert device.metrics.kernels_launched - before == 2 * 9
+
+
+class TestHotspot:
+    def test_matches_numpy_stencil(self, native_stack):
+        _, _, runtime = native_stack
+        app = HotspotApp(runtime, rows=10, cols=10, iterations=4)
+        app.run()
+        assert np.allclose(app.result, app.reference(), atol=1e-2)
+
+    def test_temperature_stays_finite(self, native_stack):
+        _, _, runtime = native_stack
+        app = HotspotApp(runtime, rows=12, cols=12, iterations=8)
+        app.run()
+        assert np.isfinite(app.result).all()
+
+
+class TestLavaMD:
+    def test_forces_computed(self, native_stack):
+        _, _, runtime = native_stack
+        app = LavaMDApp(runtime, particles=64, box_size=16)
+        app.run()
+        assert app.forces.shape == (64,)
+        assert np.isfinite(app.forces).all()
+        assert np.abs(app.forces).max() > 0
+
+    def test_box_locality(self, native_stack):
+        """Forces depend only on particles in the same box: editing a
+        foreign box must not change a particle's force."""
+        _, _, runtime = native_stack
+        app_a = LavaMDApp(runtime, particles=64, box_size=16, seed=3)
+        app_a.run()
+        app_b = LavaMDApp(runtime, particles=64, box_size=16, seed=3)
+        app_b._pos = app_b._pos.copy()
+        app_b._pos[48:] += 10.0  # box 3 only
+        app_b.run()
+        assert np.allclose(app_a.forces[:16], app_b.forces[:16])
+
+
+class TestParticleFilter:
+    def test_estimate_converges_toward_observation(self, native_stack):
+        _, _, runtime = native_stack
+        app = ParticleFilterApp(runtime, particles=128, steps=6)
+        app.run()
+        # Resampling concentrates particles near the observation 0.4.
+        assert abs(app.estimate - 0.4) < 0.5
+
+    def test_host_device_interplay(self, native_stack):
+        """The app's CDF step round-trips through the host — D2H and
+        H2D counts must both grow per step."""
+        device, _, runtime = native_stack
+        app = ParticleFilterApp(runtime, particles=64, steps=3)
+        h2d_before = device.metrics.h2d_copies
+        d2h_before = device.metrics.d2h_copies
+        app.run()
+        assert device.metrics.h2d_copies - h2d_before >= 3
+        assert device.metrics.d2h_copies - d2h_before >= 3
+
+
+class TestSuitePackaging:
+    def test_registry_complete(self):
+        assert set(RODINIA_APPS) == {"gaussian", "hotspot", "lavamd",
+                                     "particle"}
+
+    def test_fatbin_has_ptx(self):
+        fatbin = rodinia_fatbin()
+        assert fatbin.ptx_entries()
+        names = set()
+        from repro.ptx import parse_module
+
+        for entry in fatbin.ptx_entries():
+            names.update(parse_module(entry.ptx_text()).kernels)
+        assert "rodinia_fan1" in names
+        assert "rodinia_hotspot" in names
+
+    def test_apps_work_under_guardian(self, guardian_system):
+        from tests.conftest import make_guardian_tenant
+
+        _, server = guardian_system
+        _, runtime = make_guardian_tenant(server, "rod", 1 << 22)
+        app = GaussianApp(runtime, size=10)
+        app.run()
+        assert app.verify() < 1e-2
