@@ -27,7 +27,7 @@ from dataclasses import dataclass
 
 from repro.core.client import GuardianClient, preload_guardian
 from repro.core.policy import FencingMode
-from repro.core.server import GuardianServer
+from repro.core.server import GuardianServer, ServerConfig
 from repro.gpu.device import Device
 from repro.gpu.specs import (
     DeviceSpec,
@@ -50,6 +50,7 @@ __all__ = [
     "GuardianSystem",
     "GuardianTenant",
     "QUADRO_RTX_A4000",
+    "ServerConfig",
     "preload_guardian",
 ]
 
@@ -77,10 +78,12 @@ class GuardianSystem:
         spec: DeviceSpec = QUADRO_RTX_A4000,
         mode: FencingMode = FencingMode.BITWISE,
         standalone_native: bool = False,
+        config: ServerConfig | None = None,
     ):
         self.device = Device(spec)
         self.server = GuardianServer(
-            self.device, mode=mode, standalone_native=standalone_native
+            self.device, mode=mode, standalone_native=standalone_native,
+            config=config,
         )
         self.tenants: dict[str, GuardianTenant] = {}
 

@@ -54,6 +54,85 @@ class KernelProfile:
         self.global_accesses += result.level_counts.get("global", 0)
 
 
+@dataclass
+class HotPathMetrics:
+    """Aggregate view of the server's hot-path caches and the clients'
+    IPC batching — the counters the hot-path benchmark reports next to
+    raw cycle totals.
+    """
+
+    patch_cache_hits: int = 0
+    patch_cache_misses: int = 0
+    patch_cache_evictions: int = 0
+    extract_cache_hits: int = 0
+    extract_cache_misses: int = 0
+    fastpath_hits: int = 0
+    fastpath_misses: int = 0
+    ipc_messages: int = 0
+    ipc_roundtrips: int = 0
+    ipc_batches: int = 0
+    ipc_batched_messages: int = 0
+    server_cycles: float = 0.0
+    client_cycles: float = 0.0
+
+    @property
+    def total_cycles(self) -> float:
+        """Host work: server busy time + every client's critical path."""
+        return self.server_cycles + self.client_cycles
+
+    @property
+    def patch_hit_rate(self) -> float:
+        probes = self.patch_cache_hits + self.patch_cache_misses
+        return self.patch_cache_hits / probes if probes else 0.0
+
+    @property
+    def extract_hit_rate(self) -> float:
+        probes = self.extract_cache_hits + self.extract_cache_misses
+        return self.extract_cache_hits / probes if probes else 0.0
+
+    @property
+    def fastpath_hit_rate(self) -> float:
+        probes = self.fastpath_hits + self.fastpath_misses
+        return self.fastpath_hits / probes if probes else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.ipc_batches:
+            return 0.0
+        return self.ipc_batched_messages / self.ipc_batches
+
+
+def collect_hotpath(server, clients=()) -> HotPathMetrics:
+    """Snapshot hot-path counters from a GuardianServer and its clients.
+
+    ``clients`` accepts GuardianClient instances or bare IPCChannels.
+    """
+    stats = server.stats
+    metrics = HotPathMetrics(
+        patch_cache_hits=stats.patch_cache_hits,
+        patch_cache_misses=stats.patch_cache_misses,
+        patch_cache_evictions=stats.patch_cache_evictions,
+        extract_cache_hits=stats.extract_cache_hits,
+        extract_cache_misses=stats.extract_cache_misses,
+        fastpath_hits=stats.fastpath_hits,
+        fastpath_misses=stats.fastpath_misses,
+        server_cycles=stats.cycles,
+    )
+    for client in clients:
+        channel = getattr(client, "channel", client)
+        stats = channel.stats
+        metrics.ipc_messages += stats.messages
+        # Batched messages share one queue crossing per batch; every
+        # other message paid its own.
+        metrics.ipc_roundtrips += (
+            stats.messages - stats.batched_messages + stats.batches
+        )
+        metrics.ipc_batches += stats.batches
+        metrics.ipc_batched_messages += stats.batched_messages
+        metrics.client_cycles += stats.client_cycles
+    return metrics
+
+
 class Profiler:
     """Collects per-kernel profiles from a device.
 

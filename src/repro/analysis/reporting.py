@@ -105,6 +105,34 @@ def render_feature_matrix() -> str:
                         title="Table 6: protected GPU sharing approaches")
 
 
+def render_hotpath_report(metrics, title: str = "Hot-path caches") -> str:
+    """Cache hit rates and batching next to the raw cycle totals.
+
+    ``metrics`` is an :class:`repro.analysis.metrics.HotPathMetrics`.
+    """
+    rows = [
+        ["patch cache", metrics.patch_cache_hits,
+         metrics.patch_cache_misses, percent(metrics.patch_hit_rate)],
+        ["extract memo", metrics.extract_cache_hits,
+         metrics.extract_cache_misses, percent(metrics.extract_hit_rate)],
+        ["launch fast path", metrics.fastpath_hits,
+         metrics.fastpath_misses, percent(metrics.fastpath_hit_rate)],
+    ]
+    table = render_table(["cache", "hits", "misses", "hit rate"], rows,
+                         title=title)
+    lines = [
+        table,
+        f"ipc: {metrics.ipc_messages} messages in "
+        f"{metrics.ipc_roundtrips} round-trips, "
+        f"{metrics.ipc_batches} batches "
+        f"(mean batch {metrics.mean_batch_size:.1f})",
+        f"cycles: server {metrics.server_cycles:,.0f} + "
+        f"clients {metrics.client_cycles:,.0f} = "
+        f"{metrics.total_cycles:,.0f}",
+    ]
+    return "\n".join(lines)
+
+
 def percent(value: float) -> str:
     return f"{value * 100:.1f}%"
 

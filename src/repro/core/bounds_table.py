@@ -9,6 +9,14 @@ one dictionary lookup. The table is consulted
   (§4.2.2), and
 - on every kernel launch, to fetch the extra sandbox parameters
   (§4.2.3).
+
+The table also maintains a per-application **epoch counter**: every
+mutation of an application's record (register, remove — and therefore
+partition growth, which re-registers) bumps the epoch. Consumers that
+cache derived launch state (the server's launch fast path) compare
+their cached epoch against :meth:`PartitionBoundsTable.epoch` and
+rebuild on mismatch, so a grown partition's widened mask is always
+picked up by the next launch.
 """
 
 from __future__ import annotations
@@ -66,6 +74,10 @@ class PartitionBoundsTable:
 
     def __init__(self):
         self._records: dict[str, PartitionRecord] = {}
+        #: Monotone per-app mutation counters (never reset, even when a
+        #: record is removed — a re-attached app must not alias a stale
+        #: cached epoch).
+        self._epochs: dict[str, int] = {}
 
     def register(self, app_id: str, base: int, size: int) -> PartitionRecord:
         if app_id in self._records:
@@ -76,10 +88,19 @@ class PartitionBoundsTable:
             masks.check_alignment(base, size)
         record = PartitionRecord(app_id=app_id, base=base, size=size)
         self._records[app_id] = record
+        self._bump_epoch(app_id)
         return record
 
     def remove(self, app_id: str) -> None:
-        self._records.pop(app_id, None)
+        if self._records.pop(app_id, None) is not None:
+            self._bump_epoch(app_id)
+
+    def epoch(self, app_id: str) -> int:
+        """Mutation count of ``app_id``'s record (0 = never registered)."""
+        return self._epochs.get(app_id, 0)
+
+    def _bump_epoch(self, app_id: str) -> None:
+        self._epochs[app_id] = self._epochs.get(app_id, 0) + 1
 
     def lookup(self, app_id: str) -> PartitionRecord:
         try:

@@ -43,9 +43,19 @@ class GuardianClient(GpuBackend):
         app_id: str,
         max_bytes: int,
         ipc_costs: Optional[IPCCostModel] = None,
+        batching: Optional[bool] = None,
+        max_batch: Optional[int] = None,
     ):
         self.app_id = app_id
-        self.channel = IPCChannel(server, app_id, costs=ipc_costs)
+        # Batching defaults come from the server's hot-path config, so
+        # enabling it in one place configures every attaching tenant;
+        # explicit arguments override per client.
+        if batching is None:
+            batching = server.config.enable_ipc_batching
+        if max_batch is None:
+            max_batch = server.config.ipc_max_batch
+        self.channel = IPCChannel(server, app_id, costs=ipc_costs,
+                                  batching=batching, max_batch=max_batch)
         self.profile = BackendProfile()
         self._spec = None
         self._export_tables = None
@@ -156,6 +166,8 @@ def preload_guardian(
     app_id: str,
     max_bytes: int,
     ipc_costs: Optional[IPCCostModel] = None,
+    batching: Optional[bool] = None,
+    max_batch: Optional[int] = None,
 ) -> GuardianClient:
     """Install the Guardian shim into a process (the LD_PRELOAD moment).
 
@@ -163,6 +175,7 @@ def preload_guardian(
     any accelerated library — afterwards those components would already
     hold the real driver binding.
     """
-    client = GuardianClient(server, app_id, max_bytes, ipc_costs=ipc_costs)
+    client = GuardianClient(server, app_id, max_bytes, ipc_costs=ipc_costs,
+                            batching=batching, max_batch=max_batch)
     loader.preload(LIBCUDA, client)
     return client

@@ -16,6 +16,21 @@ that boundary explicitly:
 These per-call costs are what the paper's "G-Safe without protection"
 configuration isolates (3.7%-10% vs native, §6.2) and what Table 5
 breaks down for ``cudaLaunchKernel``.
+
+**Batched asynchronous submission** (opt-in, ``batching=True``):
+consecutive ``sync=False`` calls — kernel launches, H2D copies,
+memsets — are queued client-side and delivered in one message-queue
+crossing at the next flush point (a synchronous call, an explicit
+:meth:`IPCChannel.flush`, a full batch, or channel close). A batch of
+``k`` calls costs ``roundtrip/2 + k*marshal`` plus the payload copies
+(payloads are staged into the shared segment at call time, since the
+caller may reuse its buffers immediately), instead of
+``k*(roundtrip/2 + marshal)``: the per-message wake-up is amortised
+exactly the way real command-queue batching amortises it. Server-side
+errors for batched operations surface at the flush point — the same
+deferred-error semantics real asynchronous CUDA submission has. With
+``batching=False`` (the default) the channel is cycle-for-cycle
+identical to the unbatched model the paper's figures assume.
 """
 
 from __future__ import annotations
@@ -50,10 +65,27 @@ class IPCStats:
     payload_bytes: int = 0
     client_cycles: float = 0.0
     server_cycles: float = 0.0
+    #: Batching counters: how many flushes delivered more than zero
+    #: queued calls, how many calls travelled inside those batches, and
+    #: the largest single batch.
+    batches: int = 0
+    batched_messages: int = 0
+    largest_batch: int = 0
 
     @property
     def total_cycles(self) -> float:
         return self.client_cycles + self.server_cycles
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_messages / self.batches if self.batches else 0.0
+
+
+@dataclass
+class _QueuedCall:
+    method: str
+    args: tuple
+    payload_bytes: int
 
 
 class IPCChannel:
@@ -65,11 +97,18 @@ class IPCChannel:
     """
 
     def __init__(self, target, app_id: str,
-                 costs: IPCCostModel | None = None):
+                 costs: IPCCostModel | None = None,
+                 batching: bool = False,
+                 max_batch: int = 64):
+        if max_batch < 1:
+            raise IPCError(f"bad max_batch {max_batch}")
         self._target = target
         self.app_id = app_id
         self.costs = costs or IPCCostModel()
+        self.batching = batching
+        self.max_batch = max_batch
         self.stats = IPCStats()
+        self._queue: list[_QueuedCall] = []
         self._closed = False
 
     def call(self, method: str, *args, payload_bytes: int = 0,
@@ -84,14 +123,22 @@ class IPCChannel:
         Synchronous operations (mallocs, D2H copies, module loads) put
         the full round-trip plus the server's work on the client's
         critical path.
+
+        With batching enabled, asynchronous calls are queued and
+        delivered together at the next flush point; they return
+        ``None`` immediately (every asynchronous operation in the
+        backend surface returns ``None`` anyway).
         """
         if self._closed:
             raise IPCError(
                 f"channel of app {self.app_id!r} is closed"
             )
-        handler = getattr(self._target, method, None)
-        if handler is None:
-            raise IPCError(f"server has no method {method!r}")
+        self._resolve_handler(method)
+        if self.batching and not sync:
+            return self._enqueue(method, args, payload_bytes)
+        # A synchronous call is an ordering point: everything queued
+        # before it must reach the server first (per-channel FIFO).
+        self.flush()
         transport = self.costs.marshal + self.costs.payload_cycles(
             payload_bytes
         )
@@ -101,12 +148,66 @@ class IPCChannel:
         self.stats.messages += 1
         self.stats.payload_bytes += payload_bytes
         self.stats.client_cycles += transport
-        result, server_cycles = handler(self.app_id, *args)
-        self.stats.server_cycles += server_cycles
+        result, server_cycles = self._dispatch(method, args)
         if sync:
             # The client blocks until the server replies.
             self.stats.client_cycles += server_cycles
         return result
 
+    def flush(self) -> int:
+        """Deliver all queued asynchronous calls in one round-trip half.
+
+        Returns the number of calls delivered. The batch pays one
+        ``roundtrip/2`` (marshalling and payload staging were already
+        charged at call time). A server-side error propagates from the
+        offending call; earlier calls in the batch have already been
+        delivered, later ones are dropped — the deferred-error contract
+        of asynchronous submission.
+        """
+        if not self._queue:
+            return 0
+        batch, self._queue = self._queue, []
+        self.stats.client_cycles += self.costs.roundtrip // 2
+        self.stats.batches += 1
+        self.stats.batched_messages += len(batch)
+        self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+        for queued in batch:
+            self._dispatch(queued.method, queued.args)
+        return len(batch)
+
+    @property
+    def queued_calls(self) -> int:
+        return len(self._queue)
+
     def close(self) -> None:
+        if not self._closed:
+            self.flush()
         self._closed = True
+
+    # -- internals ---------------------------------------------------------------
+
+    def _enqueue(self, method: str, args: tuple, payload_bytes: int):
+        # Stage the payload into the shared segment now (the caller may
+        # reuse its buffer) and pay the per-call marshalling; the
+        # round-trip half is paid once per batch at flush time.
+        self.stats.messages += 1
+        self.stats.payload_bytes += payload_bytes
+        self.stats.client_cycles += (
+            self.costs.marshal + self.costs.payload_cycles(payload_bytes)
+        )
+        self._queue.append(_QueuedCall(method, args, payload_bytes))
+        if len(self._queue) >= self.max_batch:
+            self.flush()
+        return None
+
+    def _dispatch(self, method: str, args: tuple):
+        handler = self._resolve_handler(method)
+        result, server_cycles = handler(self.app_id, *args)
+        self.stats.server_cycles += server_cycles
+        return result, server_cycles
+
+    def _resolve_handler(self, method: str):
+        handler = getattr(self._target, method, None)
+        if handler is None:
+            raise IPCError(f"server has no method {method!r}")
+        return handler

@@ -42,6 +42,8 @@ state of a predicated-off access.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.errors import PatcherError
@@ -103,6 +105,69 @@ class PatchReport:
             + self.stores_instrumented
             + self.atomics_instrumented
         )
+
+
+class PatchCache:
+    """Content-addressed cache of patched PTX, shared across tenants.
+
+    Closed-source library PTX (cuBLAS, cuDNN, ...) is byte-identical
+    across every tenant that deploys the same library version, so the
+    offline parse+patch pass only needs to run once per distinct text
+    and fencing mode. Entries are keyed by
+    ``(sha256(ptx_text), FencingMode)`` — content-addressed, so two
+    tenants registering the same library through *different*
+    ``FatBinary`` objects still share one entry — and bounded by an LRU
+    policy.
+
+    The cached value is ``(patched_text, reports)``. Report objects are
+    shared by reference between tenants; they are never mutated after
+    patching, so sharing is safe (and is exactly what makes the cache a
+    win: per-tenant state stays limited to the partition-bound launch
+    parameters, which are *not* baked into the patched text).
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 0:
+            raise PatcherError(f"bad patch-cache capacity {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[
+            tuple[str, FencingMode], tuple[str, list[PatchReport]]
+        ] = OrderedDict()
+
+    @staticmethod
+    def key_for(ptx_text: str, mode: FencingMode
+                ) -> tuple[str, FencingMode]:
+        digest = hashlib.sha256(ptx_text.encode("utf-8")).hexdigest()
+        return (digest, mode)
+
+    def get(self, ptx_text: str, mode: FencingMode
+            ) -> tuple[str, list[PatchReport]] | None:
+        """Probe the cache; refreshes LRU recency on a hit."""
+        key = self.key_for(ptx_text, mode)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, ptx_text: str, mode: FencingMode,
+            patched_text: str, reports: list[PatchReport]) -> int:
+        """Insert an entry; returns how many entries were evicted."""
+        if self.capacity == 0:
+            return 0
+        key = self.key_for(ptx_text, mode)
+        self._entries[key] = (patched_text, reports)
+        self._entries.move_to_end(key)
+        evicted = 0
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            evicted += 1
+        return evicted
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[str, FencingMode]) -> bool:
+        return key in self._entries
 
 
 class PTXPatcher:

@@ -41,7 +41,7 @@ from repro.errors import (
     LaunchError,
 )
 from repro.core.allocator import GuardianAllocator
-from repro.core.patcher import PatchReport, PTXPatcher
+from repro.core.patcher import PatchCache, PatchReport, PTXPatcher
 from repro.core.policy import FencingMode
 from repro.driver.api import DriverAPI
 from repro.driver.fatbin import FatBinary, cuobjdump
@@ -67,9 +67,65 @@ class ServerCostModel:
     malloc: int = 350
     free: int = 300
     dispatch: int = 80
+    #: Launch fast path: one hash probe replacing the pointerToSymbol
+    #: search *and* the parameter-array rebuild (vs lookup + augment).
+    lookup_cached: int = 180
+    #: Full PTX parse + patch + emit of one module text (offline-phase
+    #: work; only charged when ``ServerConfig.charge_patch_cycles``).
+    patch_module: int = 600_000
+    #: Content-addressed cache probe (sha256 of the text + dict hit).
+    patch_lookup: int = 2_500
+    #: ``cuobjdump`` extraction of one fatBIN, and the memoised probe.
+    extract: int = 40_000
+    extract_lookup: int = 400
     #: The ordinary driver work the server performs on behalf of the
     #: tenant (same costs the native backend pays directly).
     driver: DriverCostModel = DriverCostModel()
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Hot-path optimisation knobs.
+
+    Everything defaults **off** so the stock server reproduces the
+    paper's per-operation costs bit-for-bit (Table 5, Figure 7). The
+    optimisations are this repo's beyond-the-paper work:
+
+    - ``enable_patch_cache``: content-addressed PTX patch cache keyed
+      on ``(sha256(text), mode)`` and shared across tenants, plus a
+      ``cuobjdump`` extraction memo keyed on fatBIN content. A tenant
+      deploying a library some other tenant already deployed pays a
+      cache probe instead of a full parse + patch.
+    - ``enable_launch_fast_path``: memoise each tenant's fencing
+      parameter tuple; steady-state launches pay ``lookup_cached``
+      instead of ``lookup + augment``. Invalidated by the bounds
+      table's per-tenant epoch (bumped on partition grow/release).
+    - ``enable_ipc_batching`` / ``ipc_max_batch``: clients coalesce
+      consecutive asynchronous calls into one flush-on-sync batch
+      (picked up by :class:`~repro.core.ipc.IPCChannel` at attach).
+    - ``charge_patch_cycles``: account the offline patch/extract work
+      in server cycles. Off by default because the paper reports
+      patching as an offline phase outside the launch path; benchmarks
+      that quantify the cache turn it on in *both* arms.
+    """
+
+    enable_patch_cache: bool = False
+    patch_cache_capacity: int = 64
+    enable_launch_fast_path: bool = False
+    enable_ipc_batching: bool = False
+    ipc_max_batch: int = 64
+    charge_patch_cycles: bool = False
+
+    @classmethod
+    def hotpath(cls, **overrides) -> "ServerConfig":
+        """All hot-path optimisations on."""
+        values = dict(
+            enable_patch_cache=True,
+            enable_launch_fast_path=True,
+            enable_ipc_batching=True,
+        )
+        values.update(overrides)
+        return cls(**values)
 
 
 @dataclass
@@ -84,6 +140,17 @@ class ServerStats:
     kernels_patched: int = 0
     modules_loaded: int = 0
     kernels_killed: int = 0
+    # Hot-path cache counters (all zero when the knobs are off).
+    patch_cache_hits: int = 0
+    patch_cache_misses: int = 0
+    patch_cache_evictions: int = 0
+    extract_cache_hits: int = 0
+    extract_cache_misses: int = 0
+    fastpath_hits: int = 0
+    fastpath_misses: int = 0
+    syncs: int = 0
+    sync_drained_tasks: int = 0
+    streams_destroyed: int = 0
 
 
 @dataclass
@@ -96,6 +163,9 @@ class _Tenant:
         default_factory=lambda: itertools.count(0x4000)
     )
     patch_reports: list[PatchReport] = field(default_factory=list)
+    #: Launch fast path memo: (bounds-table epoch, fencing values).
+    #: Stale whenever the epoch no longer matches the table's.
+    fast_launch: Optional[tuple[int, list]] = None
 
 
 class GuardianServer:
@@ -107,12 +177,22 @@ class GuardianServer:
         mode: FencingMode = FencingMode.BITWISE,
         costs: Optional[ServerCostModel] = None,
         standalone_native: bool = False,
+        config: Optional[ServerConfig] = None,
     ):
         self.device = device
         self.mode = mode
         self.costs = costs or ServerCostModel()
         self.standalone_native = standalone_native
+        self.config = config or ServerConfig()
         self.stats = ServerStats()
+        # Hot-path caches (None = knob off, seed behaviour).
+        self._patch_cache: Optional[PatchCache] = (
+            PatchCache(self.config.patch_cache_capacity)
+            if self.config.enable_patch_cache else None
+        )
+        self._extract_cache: Optional[dict] = (
+            {} if self.config.enable_patch_cache else None
+        )
         self._clock_ratio = device.spec.clock_ghz / CPU_GHZ
         # The server's driver: single context, PTX JIT forced so the
         # patched PTX always wins over embedded cuBINs.
@@ -148,7 +228,21 @@ class GuardianServer:
         return None, self.costs.dispatch
 
     def detach(self, app_id: str):
-        self._tenants.pop(app_id, None)
+        """Tear a tenant down: drain and destroy its stream, drop its
+        module/function handles, release its partition."""
+        tenant = self._tenants.pop(app_id, None)
+        if tenant is not None:
+            # Submitted work keeps its functional effects (the deferred
+            # timeline model); the drain records what the detach waited
+            # on, then the stream's driver state is freed.
+            self.stats.sync_drained_tasks += self.driver.cuStreamSynchronize(
+                tenant.stream
+            )
+            self.driver.cuStreamDestroy(self.context, tenant.stream)
+            self.stats.streams_destroyed += 1
+            tenant.functions.clear()
+            tenant.patch_reports.clear()
+            tenant.fast_launch = None
         self.allocator.release_partition(app_id)
         return None, self.costs.dispatch
 
@@ -194,52 +288,63 @@ class GuardianServer:
     def memcpy_h2d(self, app_id: str, dst: int, data: bytes,
                    stream_id: int = 0):
         record = self.allocator.bounds.lookup(app_id)
-        self._check_range(app_id, record, dst, len(data), "H2D destination")
+        cycles = self._check_range(app_id, record, dst, len(data),
+                                   "H2D destination")
         tenant = self._tenant(app_id)
-        self._charge(self.costs.driver.memcpy)
+        cycles += self._charge(self.costs.driver.memcpy)
         self.driver.cuMemcpyHtoD(tenant.stream, dst, data, tag=app_id,
                                  release_cycles=self._release())
-        return None, self.costs.transfer_check + self.costs.driver.memcpy
+        return None, cycles
 
     def memcpy_d2h(self, app_id: str, src: int, size: int,
                    stream_id: int = 0):
         record = self.allocator.bounds.lookup(app_id)
-        self._check_range(app_id, record, src, size, "D2H source")
+        cycles = self._check_range(app_id, record, src, size, "D2H source")
         tenant = self._tenant(app_id)
-        self._charge(self.costs.driver.memcpy)
+        cycles += self._charge(self.costs.driver.memcpy)
         data = self.driver.cuMemcpyDtoH(tenant.stream, src, size, tag=app_id,
                                         release_cycles=self._release())
-        return data, self.costs.transfer_check + self.costs.driver.memcpy
+        return data, cycles
 
     def memcpy_d2d(self, app_id: str, dst: int, src: int, size: int,
                    stream_id: int = 0):
         record = self.allocator.bounds.lookup(app_id)
-        self._check_range(app_id, record, src, size, "D2D source")
-        self._check_range(app_id, record, dst, size, "D2D destination")
+        cycles = self._check_range(app_id, record, src, size, "D2D source")
+        cycles += self._check_range(app_id, record, dst, size,
+                                    "D2D destination")
         tenant = self._tenant(app_id)
-        self._charge(self.costs.driver.memcpy)
+        cycles += self._charge(self.costs.driver.memcpy)
         self.driver.cuMemcpyDtoD(tenant.stream, dst, src, size, tag=app_id,
                                  release_cycles=self._release())
-        return None, (2 * self.costs.transfer_check
-                      + self.costs.driver.memcpy)
+        return None, cycles
 
     def memset(self, app_id: str, dst: int, value: int, size: int,
                stream_id: int = 0):
         record = self.allocator.bounds.lookup(app_id)
-        self._check_range(app_id, record, dst, size, "memset destination")
+        cycles = self._check_range(app_id, record, dst, size,
+                                   "memset destination")
         tenant = self._tenant(app_id)
-        self._charge(self.costs.driver.memcpy)
+        cycles += self._charge(self.costs.driver.memcpy)
         self.driver.cuMemsetD8(tenant.stream, dst, value, size, tag=app_id,
                                release_cycles=self._release())
-        return None, self.costs.transfer_check + self.costs.driver.memcpy
+        return None, cycles
 
     def _check_range(self, app_id: str, record, address: int, size: int,
-                     what: str) -> None:
+                     what: str) -> float:
+        """Charge and return one range check's cost.
+
+        Charging happens here and nowhere else, so a handler's returned
+        total (the sum of its ``_check_range``/``_charge`` returns)
+        always equals the ``stats.cycles`` delta it caused — including
+        on the violation path, where the check is charged and then the
+        transfer is fenced off before any driver work.
+        """
         self.stats.transfers_checked += 1
-        self._charge(self.costs.transfer_check)
+        cost = self._charge(self.costs.transfer_check)
         if not record.contains(address, size):
             self.stats.transfers_rejected += 1
             raise BoundsViolation(app_id, address, size, detail=what)
+        return cost
 
     # -- device code deployment (offline phase, §4.3) ------------------------------
 
@@ -251,7 +356,7 @@ class GuardianServer:
         launch.
         """
         tenant = self._tenant(app_id)
-        ptx_texts = cuobjdump(fatbin)
+        ptx_texts, cycles = self._extract_ptx(fatbin)
         if not ptx_texts:
             raise GuardianError(
                 f"fatbin {fatbin.name!r} carries no PTX; Guardian "
@@ -259,22 +364,79 @@ class GuardianServer:
             )
         handles: dict[str, int] = {}
         for ptx_text in ptx_texts:
-            handles.update(self._load_ptx_pair(tenant, ptx_text))
-        return handles, self.costs.dispatch
+            text_handles, patch_cycles = self._load_ptx_pair(
+                tenant, ptx_text
+            )
+            handles.update(text_handles)
+            cycles += patch_cycles
+        return handles, self.costs.dispatch + cycles
 
     def load_module_ptx(self, app_id: str, ptx_text: str):
         """Explicit PTX load (the driver-API path some apps use)."""
         tenant = self._tenant(app_id)
-        return self._load_ptx_pair(tenant, ptx_text), self.costs.dispatch
+        handles, cycles = self._load_ptx_pair(tenant, ptx_text)
+        return handles, self.costs.dispatch + cycles
+
+    def _extract_ptx(self, fatbin: FatBinary) -> tuple[list[str], float]:
+        """``cuobjdump`` extraction, memoised on fatBIN content when
+        the patch cache is enabled. Returns (texts, charged cycles)."""
+        if self._extract_cache is None:
+            return cuobjdump(fatbin), self._patch_charge(self.costs.extract)
+        key = fatbin.content_key()
+        cached = self._extract_cache.get(key)
+        if cached is not None:
+            self.stats.extract_cache_hits += 1
+            return list(cached), self._patch_charge(
+                self.costs.extract_lookup
+            )
+        ptx_texts = cuobjdump(fatbin)
+        self._extract_cache[key] = tuple(ptx_texts)
+        self.stats.extract_cache_misses += 1
+        return ptx_texts, self._patch_charge(self.costs.extract)
+
+    def _patch_text(self, ptx_text: str) -> tuple[str, list, float]:
+        """Patch one PTX text, through the content-addressed cache when
+        enabled. Returns (patched text, reports, charged cycles).
+
+        A cache hit shares the patched text *and* the report list by
+        reference across tenants — both are immutable once produced.
+        """
+        if self._patch_cache is not None:
+            cached = self._patch_cache.get(ptx_text, self.mode)
+            if cached is not None:
+                self.stats.patch_cache_hits += 1
+                patched_text, reports = cached
+                return patched_text, reports, self._patch_charge(
+                    self.costs.patch_lookup
+                )
+            patched_text, reports = self.patcher.patch_text(ptx_text)
+            self.stats.patch_cache_evictions += self._patch_cache.put(
+                ptx_text, self.mode, patched_text, reports
+            )
+            self.stats.patch_cache_misses += 1
+            return patched_text, reports, self._patch_charge(
+                self.costs.patch_module
+            )
+        patched_text, reports = self.patcher.patch_text(ptx_text)
+        return patched_text, reports, self._patch_charge(
+            self.costs.patch_module
+        )
+
+    def _patch_charge(self, cycles: float) -> float:
+        """Offline-phase work is only accounted when the config says
+        so — the paper keeps patching out of the measured hot path."""
+        if not self.config.charge_patch_cycles:
+            return 0.0
+        return self._charge(cycles)
 
     def _load_ptx_pair(self, tenant: _Tenant, ptx_text: str
-                       ) -> dict[str, int]:
+                       ) -> tuple[dict[str, int], float]:
         partition = self.allocator.partition(tenant.app_id)
 
         def allocate_in_partition(name: str, size: int) -> int:
             return partition.malloc(size)
 
-        patched_text, reports = self.patcher.patch_text(ptx_text)
+        patched_text, reports, patch_cycles = self._patch_text(ptx_text)
         tenant.patch_reports.extend(reports)
         self.stats.kernels_patched += sum(
             1 for report in reports if report.is_entry
@@ -301,7 +463,7 @@ class GuardianServer:
                 self.driver.cuModuleGetFunction(native, name),
             )
             handles[name] = handle
-        return handles
+        return handles, patch_cycles
 
     # -- kernel launch (§4.2.3) -------------------------------------------------------
 
@@ -309,8 +471,6 @@ class GuardianServer:
                       grid: tuple, block: tuple, params: list,
                       stream_id: int = 0):
         tenant = self._tenant(app_id)
-        # pointerToSymbol lookup.
-        cycles = self.costs.lookup
         pair = tenant.functions.get(handle)
         if pair is None:
             raise LaunchError(
@@ -323,18 +483,17 @@ class GuardianServer:
             and self.tenant_count == 1
         ) or self.mode is FencingMode.NONE
         if use_native:
+            # pointerToSymbol lookup only; no parameter augmentation.
             function = native
             launch_params = list(params)
             self.stats.native_launches += 1
+            cycles = float(self.costs.lookup)
         else:
             # Augment the parameter array with this partition's
             # fencing values (mask and base for bitwise, ...).
-            record = self.allocator.bounds.lookup(app_id)
-            launch_params = list(params) + record.extra_param_values(
-                self.mode
-            )
+            extra, cycles = self._launch_extras(tenant)
+            launch_params = list(params) + extra
             function = sandboxed
-            cycles += self.costs.augment
 
         cycles += self.costs.launch_syscall
         self.stats.launches += 1
@@ -355,6 +514,32 @@ class GuardianServer:
             ) from failure
         return None, cycles
 
+    def _launch_extras(self, tenant: _Tenant) -> tuple[list, float]:
+        """Fencing parameter values for a sandboxed launch, plus the
+        host cycles to produce them.
+
+        Slow path (paper Table 5): pointerToSymbol lookup + parameter
+        array augmentation. Fast path: the tenant's fencing tuple is
+        memoised against the bounds table's per-tenant epoch, so a
+        steady-state launch pays a single cached probe; any partition
+        mutation (grow/release+re-register) bumps the epoch and forces
+        a rebuild that picks up the widened mask.
+        """
+        if self.config.enable_launch_fast_path:
+            epoch = self.allocator.bounds.epoch(tenant.app_id)
+            memo = tenant.fast_launch
+            if memo is not None and memo[0] == epoch:
+                self.stats.fastpath_hits += 1
+                return memo[1], float(self.costs.lookup_cached)
+            record = self.allocator.bounds.lookup(tenant.app_id)
+            extra = record.extra_param_values(self.mode)
+            tenant.fast_launch = (epoch, extra)
+            self.stats.fastpath_misses += 1
+            return extra, float(self.costs.lookup + self.costs.augment)
+        record = self.allocator.bounds.lookup(tenant.app_id)
+        extra = record.extra_param_values(self.mode)
+        return extra, float(self.costs.lookup + self.costs.augment)
+
     # -- misc --------------------------------------------------------------------------
 
     def create_stream(self, app_id: str):
@@ -369,6 +554,19 @@ class GuardianServer:
         return tenant.stream.stream_id, self.costs.dispatch
 
     def synchronize(self, app_id: str):
+        """Drain the tenant's stream.
+
+        Functionally every submitted operation already executed (the
+        deferred timing model), so the drain records how many pending
+        operations the wait covered; their timing is resolved by the
+        device's next timeline pass. Unknown tenants are rejected —
+        sync is a per-tenant operation, not a broadcast.
+        """
+        tenant = self._tenant(app_id)
+        self.stats.syncs += 1
+        self.stats.sync_drained_tasks += self.driver.cuStreamSynchronize(
+            tenant.stream
+        )
         return None, self.costs.dispatch
 
     def get_spec(self, app_id: str):
@@ -377,8 +575,11 @@ class GuardianServer:
     def patch_reports(self, app_id: str) -> list[PatchReport]:
         return self._tenant(app_id).patch_reports
 
-    def _charge(self, cycles: float) -> None:
+    def _charge(self, cycles: float) -> float:
+        """Add host work to the server's busy clock; returns the amount
+        so call sites can sum exactly what they charged."""
         self.stats.cycles += cycles
+        return cycles
 
     def _release(self) -> float:
         """Device-clock instant at which the server finished issuing

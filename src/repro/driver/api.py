@@ -56,6 +56,19 @@ class DriverAPI:
     def cuStreamCreate(self, context: Context) -> Stream:
         return context.create_stream()
 
+    def cuStreamDestroy(self, context: Context, stream: Stream) -> None:
+        """Release a stream's driver-side state. Work already submitted
+        on the stream stays queued on the device and completes (real
+        cuStreamDestroy has the same drain-then-free semantics)."""
+        context.destroy_stream(stream)
+
+    def cuStreamSynchronize(self, stream: Stream) -> int:
+        """Wait for a stream to drain; returns how many operations the
+        wait covered. Timing of the drained work is resolved by the
+        device's deferred timeline pass (see :mod:`repro.gpu.device`);
+        functionally every submitted operation has already executed."""
+        return self.device.stream_pending(stream)
+
     # -- module management -------------------------------------------------------
 
     def cuModuleLoadData(self, context: Context,

@@ -69,6 +69,17 @@ class FatBinary:
                 return entry
         return None
 
+    def content_key(self) -> tuple[FatbinEntry, ...]:
+        """Hashable content identity of this fatBIN.
+
+        Entries are frozen dataclasses, so the tuple hashes by payload
+        content — two tenants deploying byte-identical copies of the
+        same library produce equal keys even through distinct
+        ``FatBinary`` objects. Used to memoize ``cuobjdump`` extraction
+        on the hot deployment path.
+        """
+        return tuple(self.entries)
+
 
 def _cuda_version_tier(cuda_version: str) -> int:
     """Map a CUDA version string onto the Table 1 rows (0, 1, 2)."""

@@ -37,3 +37,14 @@ class Context:
         stream = Stream(context_id=self.context_id)
         self.streams.append(stream)
         return stream
+
+    def destroy_stream(self, stream: Stream) -> None:
+        """Forget a stream (cuStreamDestroy). The default stream is
+        owned by the context and cannot be destroyed."""
+        if stream is self.default_stream:
+            raise ValueError(
+                f"context {self.name!r}: the default stream cannot be "
+                f"destroyed"
+            )
+        if stream in self.streams:
+            self.streams.remove(stream)

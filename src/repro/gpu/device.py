@@ -221,5 +221,17 @@ class Device:
     def pending_tasks(self) -> int:
         return len(self._pending)
 
+    def stream_pending(self, stream: Stream) -> int:
+        """Tasks submitted on ``stream`` whose timing is unresolved.
+
+        This is what a stream synchronise "waits on" in the deferred
+        timing model: the functional effects already happened at
+        submission, and the wait itself is resolved by the next
+        :meth:`synchronize` timeline pass.
+        """
+        return sum(
+            1 for task in self._pending if task.stream_key == stream.key
+        )
+
     def elapsed_seconds(self) -> float:
         return self.spec.cycles_to_seconds(self.clock_cycles)

@@ -25,7 +25,7 @@ from typing import Callable, Optional
 
 from repro.core.client import preload_guardian
 from repro.core.policy import FencingMode
-from repro.core.server import GuardianServer
+from repro.core.server import GuardianServer, ServerConfig
 from repro.gpu.device import Device
 from repro.gpu.specs import DeviceSpec, QUADRO_RTX_A4000
 from repro.runtime.api import CudaRuntime, HostCostModel
@@ -94,8 +94,14 @@ def run_deployment(
     max_blocks: Optional[int] = None,
     standalone_native: bool = False,
     device: Optional[Device] = None,
+    server_config: Optional[ServerConfig] = None,
 ) -> DeploymentRun:
-    """Run a workload mix under one deployment and time it."""
+    """Run a workload mix under one deployment and time it.
+
+    ``server_config`` applies to the Guardian deployments only (hot-path
+    caching/batching knobs); the figure-reproduction callers leave it
+    ``None`` so the measured costs match the paper.
+    """
     if deployment not in DEPLOYMENTS:
         raise ValueError(
             f"unknown deployment {deployment!r}; pick from {DEPLOYMENTS}"
@@ -113,6 +119,7 @@ def run_deployment(
             device,
             mode=mode if deployment == "guardian" else FencingMode.NONE,
             standalone_native=standalone_native,
+            config=server_config,
         )
 
     contexts = []
@@ -135,6 +142,11 @@ def run_deployment(
     # interleaves nothing across tenants' memory, so order is free).
     for app, backend, runtime in contexts:
         app.workload(runtime)
+        # A batching client may end its workload with calls still
+        # queued; flush so their effects land before the timeline pass.
+        channel = getattr(backend, "channel", None)
+        if channel is not None:
+            channel.flush()
 
     timeline = device.synchronize(spatial=(deployment != "native"))
 

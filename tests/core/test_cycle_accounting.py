@@ -1,0 +1,145 @@
+"""Regression tests pinning the server's cycle accounting.
+
+Every handler must charge each cost to ``stats.cycles`` exactly once,
+and the cycles it *returns* (what the IPC layer puts on the client's
+critical path) must equal the ``stats.cycles`` delta it caused. These
+tests pin both the invariant and the absolute per-op totals, so a
+refactor that double-charges — or silently changes a Table 5 input —
+fails loudly.
+"""
+
+import pytest
+
+from repro.errors import BoundsViolation
+from repro.core.policy import FencingMode
+from repro.core.server import GuardianServer, ServerConfig
+from repro.driver.fatbin import build_fatbin
+from repro.gpu.device import Device
+from repro.gpu.specs import QUADRO_RTX_A4000
+
+from tests.conftest import saxpy_module
+
+
+@pytest.fixture
+def device():
+    return Device(QUADRO_RTX_A4000)
+
+
+@pytest.fixture
+def server(device):
+    return GuardianServer(device, FencingMode.BITWISE)
+
+
+@pytest.fixture
+def tenant(server):
+    server.attach("alice", 1 << 20)
+    buf, _ = server.malloc("alice", 4096)
+    return buf
+
+
+def charged(server, operation):
+    """Run ``operation``, assert returned cycles == stats delta, and
+    return the delta."""
+    before = server.stats.cycles
+    _, cycles = operation()
+    delta = server.stats.cycles - before
+    assert cycles == delta
+    return delta
+
+
+class TestReturnedEqualsCharged:
+    def test_h2d(self, server, tenant):
+        delta = charged(server, lambda: server.memcpy_h2d(
+            "alice", tenant, b"x" * 256))
+        assert delta == (server.costs.transfer_check
+                         + server.costs.driver.memcpy)
+
+    def test_d2h(self, server, tenant):
+        server.memcpy_h2d("alice", tenant, b"x" * 256)
+        delta = charged(server, lambda: server.memcpy_d2h(
+            "alice", tenant, 256))
+        assert delta == (server.costs.transfer_check
+                         + server.costs.driver.memcpy)
+
+    def test_d2d(self, server, tenant):
+        delta = charged(server, lambda: server.memcpy_d2d(
+            "alice", tenant, tenant + 512, 256))
+        assert delta == (2 * server.costs.transfer_check
+                         + server.costs.driver.memcpy)
+
+    def test_memset(self, server, tenant):
+        delta = charged(server, lambda: server.memset(
+            "alice", tenant, 0, 256))
+        assert delta == (server.costs.transfer_check
+                         + server.costs.driver.memcpy)
+
+    def test_malloc_and_free(self, server, tenant):
+        before = server.stats.cycles
+        address, cycles = server.malloc("alice", 512)
+        assert cycles == server.stats.cycles - before
+        assert cycles == server.costs.malloc + server.costs.driver.malloc
+        delta = charged(server, lambda: server.free("alice", address))
+        assert delta == server.costs.free + server.costs.driver.free
+
+    def test_launch(self, server, tenant):
+        handles, _ = server.register_fatbin(
+            "alice", build_fatbin(saxpy_module(), "lib", "11.7"))
+        delta = charged(server, lambda: server.launch_kernel(
+            "alice", handles["saxpy"], (1, 1, 1), (32, 1, 1),
+            [tenant, tenant, 2.0, 0]))
+        # The paper's Table 5 breakdown, pinned to the cycle.
+        assert delta == 557 + 400 + 9_000
+        assert delta == (server.costs.lookup + server.costs.augment
+                         + server.costs.launch_syscall)
+
+
+class TestViolationPathCharging:
+    """A fenced transfer is charged for the checks it ran — once."""
+
+    def test_h2d_violation_charges_one_check(self, server, tenant):
+        record = server.allocator.bounds.lookup("alice")
+        before = server.stats.cycles
+        with pytest.raises(BoundsViolation):
+            server.memcpy_h2d("alice", record.end, b"x" * 16)
+        assert server.stats.cycles - before == server.costs.transfer_check
+
+    def test_d2d_second_check_violation_charges_two(self, server, tenant):
+        """Source passes, destination is fenced: both checks ran."""
+        record = server.allocator.bounds.lookup("alice")
+        before = server.stats.cycles
+        with pytest.raises(BoundsViolation):
+            server.memcpy_d2d("alice", record.end, tenant, 256)
+        assert server.stats.cycles - before == (
+            2 * server.costs.transfer_check
+        )
+
+    def test_d2d_first_check_violation_charges_one(self, server, tenant):
+        record = server.allocator.bounds.lookup("alice")
+        before = server.stats.cycles
+        with pytest.raises(BoundsViolation):
+            server.memcpy_d2d("alice", tenant, record.end, 256)
+        assert server.stats.cycles - before == server.costs.transfer_check
+
+
+class TestDefaultConfigMatchesPaper:
+    """With the stock ServerConfig the hot-path machinery is inert:
+    deployment and launch costs are exactly the seed model's."""
+
+    def test_register_fatbin_charges_nothing(self, server, tenant):
+        before = server.stats.cycles
+        _, cycles = server.register_fatbin(
+            "alice", build_fatbin(saxpy_module(), "lib", "11.7"))
+        assert cycles == server.costs.dispatch
+        assert server.stats.cycles == before  # dispatch is not charged
+
+    def test_charge_patch_cycles_accounts_offline_work(self, device):
+        config = ServerConfig(charge_patch_cycles=True)
+        server = GuardianServer(device, FencingMode.BITWISE,
+                                config=config)
+        server.attach("alice", 1 << 20)
+        before = server.stats.cycles
+        _, cycles = server.register_fatbin(
+            "alice", build_fatbin(saxpy_module(), "lib", "11.7"))
+        expected = server.costs.extract + server.costs.patch_module
+        assert server.stats.cycles - before == expected
+        assert cycles == server.costs.dispatch + expected

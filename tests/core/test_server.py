@@ -198,6 +198,54 @@ class TestKernelPath:
         assert server.stats.native_launches == 1
 
 
+class TestDetachAndSynchronize:
+    def test_detach_destroys_tenant_stream(self, device, server):
+        attach(server, "alice")
+        stream = server._tenants["alice"].stream
+        context = server.context
+        assert stream in context.streams
+        server.detach("alice")
+        assert stream not in context.streams
+        assert server.stats.streams_destroyed == 1
+
+    def test_detach_drops_function_handles(self, server):
+        attach(server, "alice")
+        server.register_fatbin(
+            "alice", build_fatbin(saxpy_module(), "lib", "11.7"))
+        tenant = server._tenants["alice"]
+        assert tenant.functions
+        server.detach("alice")
+        assert not tenant.functions
+        assert not tenant.patch_reports
+
+    def test_detach_unknown_app_is_a_noop(self, server):
+        server.detach("ghost")  # must not raise
+        assert server.stats.streams_destroyed == 0
+
+    def test_synchronize_requires_attached_tenant(self, server):
+        with pytest.raises(GuardianError):
+            server.synchronize("ghost")
+
+    def test_synchronize_drains_the_tenants_stream(self, server, device):
+        attach(server, "alice")
+        buf, _ = server.malloc("alice", 256)
+        server.memcpy_h2d("alice", buf, b"x" * 256)
+        server.memcpy_h2d("alice", buf, b"y" * 256)
+        server.synchronize("alice")
+        assert server.stats.syncs == 1
+        assert server.stats.sync_drained_tasks == 2
+
+    def test_synchronize_counts_only_own_stream(self, server):
+        attach(server, "alice")
+        attach(server, "bob")
+        alice_buf, _ = server.malloc("alice", 256)
+        bob_buf, _ = server.malloc("bob", 256)
+        server.memcpy_h2d("alice", alice_buf, b"x" * 256)
+        server.memcpy_h2d("bob", bob_buf, b"y" * 256)
+        server.synchronize("alice")
+        assert server.stats.sync_drained_tasks == 1
+
+
 class TestStandaloneNativeOptimisation:
     """'When the gSafeServer detects that an application runs
     standalone, it issues a native kernel' (§4.2.3)."""
