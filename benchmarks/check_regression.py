@@ -1,0 +1,85 @@
+"""Gate the CI bench-smoke job on the emitted BENCH_*.json numbers.
+
+Usage::
+
+    python benchmarks/check_regression.py [BENCH_DIR]
+
+Reads the ``BENCH_*.json`` files the benchmark run emitted into
+``BENCH_DIR`` (default: current directory) and compares them against
+``benchmarks/bench_baseline.json``:
+
+- ``hotpath_caching``: the cached-vs-default host-cycle ratio may not
+  regress (grow) by more than ``max_regression`` (10%) relative to the
+  recorded baseline ratio — the hot-path caches must keep earning
+  their keep;
+- ``table5_interception``: the stock per-op costs are pinned exactly —
+  any drift from the paper's Table 5 numbers fails the job.
+
+Exit status 0 on pass, 1 on regression or missing inputs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+BASELINE = Path(__file__).resolve().parent / "bench_baseline.json"
+
+
+def fail(message: str) -> int:
+    print(f"REGRESSION: {message}")
+    return 1
+
+
+def check_hotpath(bench_dir: Path, baseline: dict) -> int:
+    path = bench_dir / "BENCH_hotpath_caching.json"
+    if not path.exists():
+        return fail(f"{path} was not emitted")
+    measured = json.loads(path.read_text())
+    ratio = measured["cached_vs_default_ratio"]
+    ceiling = (baseline["cached_vs_default_ratio"]
+               * (1.0 + baseline["max_regression"]))
+    print(f"hotpath_caching: cached/default ratio {ratio:.4f} "
+          f"(baseline {baseline['cached_vs_default_ratio']:.4f}, "
+          f"ceiling {ceiling:.4f})")
+    if ratio > ceiling:
+        return fail(
+            f"cached-vs-default ratio {ratio:.4f} exceeds the "
+            f"{baseline['max_regression']:.0%} regression ceiling "
+            f"{ceiling:.4f}"
+        )
+    return 0
+
+
+def check_table5(bench_dir: Path, baseline: dict) -> int:
+    path = bench_dir / "BENCH_table5_interception.json"
+    if not path.exists():
+        return fail(f"{path} was not emitted")
+    measured = json.loads(path.read_text())
+    status = 0
+    for key in ("lookup_cycles", "augment_cycles",
+                "launch_syscall_cycles"):
+        if measured[key] != baseline[key]:
+            status = fail(
+                f"table5 {key}: measured {measured[key]} != "
+                f"pinned {baseline[key]}"
+            )
+    if not status:
+        print("table5_interception: per-op costs match the pinned "
+              "paper numbers")
+    return status
+
+
+def main(argv: list[str]) -> int:
+    bench_dir = Path(argv[1]) if len(argv) > 1 else Path(".")
+    baseline = json.loads(BASELINE.read_text())
+    status = check_hotpath(bench_dir, baseline["hotpath_caching"])
+    status |= check_table5(bench_dir, baseline["table5_interception"])
+    if not status:
+        print("benchmark smoke: no regressions")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

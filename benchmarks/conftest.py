@@ -15,7 +15,9 @@ Every module regenerates one table or figure of the paper's evaluation
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -29,6 +31,21 @@ MAX_BLOCKS = 4
 #: kernels are device-bound as in the paper; sampling keeps it fast).
 MIX_SAMPLES = 16
 MIX_BATCH = 16
+
+
+def emit_bench_json(name: str, payload: dict) -> Path:
+    """Write ``BENCH_<name>.json`` for the CI bench-smoke job.
+
+    The output directory is ``GUARDIAN_BENCH_DIR`` (the CI job points
+    it at the artifact upload path) or the working directory. CI diffs
+    the emitted numbers against ``benchmarks/bench_baseline.json`` via
+    ``benchmarks/check_regression.py``.
+    """
+    directory = Path(os.environ.get("GUARDIAN_BENCH_DIR", "."))
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def print_table(title: str, headers, rows) -> None:

@@ -22,7 +22,7 @@ from repro.driver.fatbin import build_fatbin
 from repro.gpu.device import Device
 from repro.gpu.specs import QUADRO_RTX_A4000
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import emit_bench_json, print_table
 from tests.conftest import make_guardian_tenant, saxpy_module
 
 TENANTS = 6
@@ -95,6 +95,16 @@ class TestHotPathCaching:
             ],
         )
         print(f"reduction: {reduction * 100:.1f}%")
+
+        emit_bench_json("hotpath_caching", {
+            "disabled_total_cycles": disabled.total_cycles,
+            "enabled_total_cycles": enabled.total_cycles,
+            "cached_vs_default_ratio":
+                enabled.total_cycles / disabled.total_cycles,
+            "reduction": reduction,
+            "tenants": TENANTS,
+            "iterations": ITERATIONS,
+        })
 
         # The acceptance bar: >= 25% less total host work.
         assert enabled.total_cycles <= 0.75 * disabled.total_cycles

@@ -11,7 +11,7 @@ from repro import FencingMode, GuardianSystem
 from repro.core.server import ServerCostModel
 from repro.driver.fatbin import build_fatbin
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import emit_bench_json, print_table
 from tests.conftest import saxpy_module
 
 
@@ -46,6 +46,12 @@ def test_table5_interception_cost(once):
              costs.launch_syscall, int(per_launch)],
         ],
     )
+    emit_bench_json("table5_interception", {
+        "lookup_cycles": costs.lookup,
+        "augment_cycles": costs.augment,
+        "launch_syscall_cycles": costs.launch_syscall,
+        "per_launch_cycles": per_launch,
+    })
     # Paper: lookup ~557, augment ~400 (sum ~957).
     assert costs.lookup == 557
     assert costs.augment == 400

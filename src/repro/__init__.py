@@ -28,6 +28,9 @@ from dataclasses import dataclass
 from repro.core.client import GuardianClient, preload_guardian
 from repro.core.policy import FencingMode
 from repro.core.server import GuardianServer, ServerConfig
+from repro.core.supervisor import SupervisorPolicy, TenantSupervisor
+from repro.errors import ClientCrashed, TenantQuarantined
+from repro.faults.plan import FaultPlan
 from repro.gpu.device import Device
 from repro.gpu.specs import (
     DeviceSpec,
@@ -43,6 +46,7 @@ __all__ = [
     "CudaRuntime",
     "Device",
     "DeviceSpec",
+    "FaultPlan",
     "FencingMode",
     "GEFORCE_RTX_3080TI",
     "GuardianClient",
@@ -51,6 +55,8 @@ __all__ = [
     "GuardianTenant",
     "QUADRO_RTX_A4000",
     "ServerConfig",
+    "SupervisorPolicy",
+    "TenantSupervisor",
     "preload_guardian",
 ]
 
@@ -79,18 +85,37 @@ class GuardianSystem:
         mode: FencingMode = FencingMode.BITWISE,
         standalone_native: bool = False,
         config: ServerConfig | None = None,
+        supervised: bool | None = None,
+        fault_plan: FaultPlan | None = None,
+        policy: SupervisorPolicy | None = None,
     ):
         self.device = Device(spec)
         self.server = GuardianServer(
             self.device, mode=mode, standalone_native=standalone_native,
             config=config,
         )
+        # Supervision is opt-in (or implied by a fault plan / policy),
+        # keeping the default system byte-compatible with the seed; a
+        # supervised system without a plan is still cycle-identical.
+        if supervised is None:
+            supervised = fault_plan is not None or policy is not None
+        self.fault_plan = fault_plan
+        self.supervisor: TenantSupervisor | None = (
+            TenantSupervisor(self.server, plan=fault_plan, policy=policy)
+            if supervised else None
+        )
         self.tenants: dict[str, GuardianTenant] = {}
+
+    @property
+    def dispatch_target(self):
+        """What clients talk to: the supervisor when present."""
+        return self.supervisor if self.supervisor is not None else self.server
 
     def attach(self, app_id: str, max_bytes: int) -> GuardianTenant:
         """Attach a tenant: partition, preloaded shim, CUDA runtime."""
         loader = DynamicLoader()
-        client = preload_guardian(loader, self.server, app_id, max_bytes)
+        client = preload_guardian(loader, self.dispatch_target, app_id,
+                                  max_bytes, fault_plan=self.fault_plan)
         tenant = GuardianTenant(
             app_id=app_id,
             client=client,
@@ -102,8 +127,25 @@ class GuardianSystem:
 
     def detach(self, app_id: str) -> None:
         tenant = self.tenants.pop(app_id, None)
-        if tenant is not None:
+        if tenant is None:
+            return
+        try:
             tenant.client.close()
+        except TenantQuarantined:
+            # Already evicted server-side; just drop the channel.
+            tenant.client.channel.abort()
+        if tenant.client.crashed and self.supervisor is not None:
+            self.supervisor.reap(app_id)
+
+    def reap(self, app_id: str) -> None:
+        """Clean up a tenant whose client process died (crash path)."""
+        tenant = self.tenants.pop(app_id, None)
+        if tenant is not None:
+            tenant.client.channel.abort()
+        if self.supervisor is not None:
+            self.supervisor.reap(app_id)
+        else:
+            self.server.quarantine(app_id, reason="client crashed")
 
     def synchronize(self):
         """Resolve all pending device timing (spatial sharing)."""

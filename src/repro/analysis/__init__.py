@@ -6,7 +6,19 @@ from the simulator; :mod:`repro.analysis.reporting` renders the
 paper-style text tables the benchmark harness prints.
 """
 
-from repro.analysis.metrics import KernelProfile, Profiler
-from repro.analysis.reporting import render_table
+from repro.analysis.metrics import (
+    FaultMetrics,
+    KernelProfile,
+    Profiler,
+    collect_faults,
+)
+from repro.analysis.reporting import render_failure_report, render_table
 
-__all__ = ["KernelProfile", "Profiler", "render_table"]
+__all__ = [
+    "FaultMetrics",
+    "KernelProfile",
+    "Profiler",
+    "collect_faults",
+    "render_failure_report",
+    "render_table",
+]

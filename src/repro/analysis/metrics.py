@@ -133,6 +133,63 @@ def collect_hotpath(server, clients=()) -> HotPathMetrics:
     return metrics
 
 
+@dataclass
+class FaultMetrics:
+    """Aggregate view of a TenantSupervisor's failure records — the
+    containment counterpart of :class:`HotPathMetrics`.
+    """
+
+    records: int = 0
+    #: fault kind -> count (ipc_drop, malformed_ptx, deadline, ...).
+    by_kind: dict = field(default_factory=dict)
+    #: supervisor action -> count (retried, rejected, quarantined, ...).
+    by_action: dict = field(default_factory=dict)
+    retries: int = 0
+    retry_attempts: int = 0
+    deadline_violations: int = 0
+    quarantines: int = 0
+    bytes_scrubbed: int = 0
+    fault_cycles: float = 0.0
+    #: tenant -> remaining state (budget spent, quarantined?).
+    tenants: dict = field(default_factory=dict)
+
+    @property
+    def retry_success_rate(self) -> float:
+        exhausted = self.by_action.get("exhausted", 0)
+        total = self.retries + exhausted
+        return self.retries / total if total else 0.0
+
+
+def collect_faults(supervisor) -> FaultMetrics:
+    """Snapshot failure records from a
+    :class:`repro.core.supervisor.TenantSupervisor`."""
+    metrics = FaultMetrics()
+    for record in supervisor.records:
+        metrics.records += 1
+        metrics.by_kind[record.kind] = (
+            metrics.by_kind.get(record.kind, 0) + 1
+        )
+        metrics.by_action[record.action] = (
+            metrics.by_action.get(record.action, 0) + 1
+        )
+        metrics.fault_cycles += record.cycles
+        if record.action == "retried":
+            metrics.retries += 1
+            metrics.retry_attempts += record.attempts
+        elif record.action == "deadline":
+            metrics.deadline_violations += 1
+    for quarantine in supervisor.quarantines:
+        metrics.quarantines += 1
+        metrics.bytes_scrubbed += quarantine.bytes_scrubbed
+    for app_id, state in supervisor._states.items():
+        metrics.tenants[app_id] = {
+            "budget_spent": state.budget,
+            "quarantined": state.quarantined,
+            "reason": state.reason,
+        }
+    return metrics
+
+
 class Profiler:
     """Collects per-kernel profiles from a device.
 

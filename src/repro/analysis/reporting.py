@@ -133,6 +133,38 @@ def render_hotpath_report(metrics, title: str = "Hot-path caches") -> str:
     return "\n".join(lines)
 
 
+def render_failure_report(metrics, title: str = "Tenant failures") -> str:
+    """Fault kinds, supervisor actions, and quarantine outcomes.
+
+    ``metrics`` is an :class:`repro.analysis.metrics.FaultMetrics`.
+    """
+    kind_rows = sorted(metrics.by_kind.items())
+    action_rows = sorted(metrics.by_action.items())
+    lines = [
+        render_table(["fault kind", "events"], kind_rows, title=title),
+        render_table(["supervisor action", "events"], action_rows),
+        f"retries: {metrics.retries} recovered "
+        f"({metrics.retry_attempts} resend attempts, "
+        f"success rate {percent(metrics.retry_success_rate)})",
+        f"deadline violations: {metrics.deadline_violations}",
+        f"quarantines: {metrics.quarantines} "
+        f"({metrics.bytes_scrubbed:,} bytes scrubbed)",
+        f"fault-handling cycles: {metrics.fault_cycles:,.0f}",
+    ]
+    for app_id, status in sorted(metrics.tenants.items()):
+        if status["quarantined"]:
+            lines.append(
+                f"  {app_id}: QUARANTINED — {status['reason']} "
+                f"(budget spent {status['budget_spent']:.1f})"
+            )
+        elif status["budget_spent"]:
+            lines.append(
+                f"  {app_id}: healthy, budget spent "
+                f"{status['budget_spent']:.1f}"
+            )
+    return "\n".join(lines)
+
+
 def percent(value: float) -> str:
     return f"{value * 100:.1f}%"
 

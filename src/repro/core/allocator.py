@@ -161,11 +161,22 @@ class GuardianAllocator:
                 return True
         return False
 
-    def release_partition(self, app_id: str) -> None:
+    def release_partition(self, app_id: str, scrubber=None) -> None:
+        """Return a tenant's partition to the free list.
+
+        ``scrubber(base, size)``, when given, runs *before* the region
+        becomes allocatable again — the quarantine path uses it to zero
+        the evicted tenant's memory so no later partition can observe
+        stale data. The scrub must precede the gap insertion: once the
+        region is in the free list a concurrent create_partition could
+        hand it out.
+        """
         partition = self._partitions.pop(app_id, None)
         if partition is None:
             return
         self.bounds.remove(app_id)
+        if scrubber is not None:
+            scrubber(partition.base, partition.size)
         self._insert_gap(_Gap(partition.base, partition.size))
 
     def partition(self, app_id: str) -> Partition:

@@ -99,6 +99,16 @@ class PartitionBoundsTable:
         """Mutation count of ``app_id``'s record (0 = never registered)."""
         return self._epochs.get(app_id, 0)
 
+    def epochs(self) -> dict[str, int]:
+        """Snapshot of every app's epoch counter.
+
+        The containment tests diff two snapshots to prove a quarantine
+        touched *only* the evicted tenant's row: every other app's
+        epoch must be unchanged, or its cached launch state would have
+        been spuriously invalidated (or worse, silently stale).
+        """
+        return dict(self._epochs)
+
     def _bump_epoch(self, app_id: str) -> None:
         self._epochs[app_id] = self._epochs.get(app_id, 0) + 1
 

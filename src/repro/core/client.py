@@ -26,6 +26,8 @@ from typing import Optional
 from repro.core.ipc import IPCChannel, IPCCostModel
 from repro.core.server import GuardianServer
 from repro.driver.fatbin import FatBinary
+from repro.errors import ClientCrashed
+from repro.faults.plan import FaultKind, FaultPlan, Site
 from repro.runtime.backend import BackendProfile, GpuBackend
 from repro.runtime.interpose import LIBCUDA, DynamicLoader
 
@@ -45,8 +47,14 @@ class GuardianClient(GpuBackend):
         ipc_costs: Optional[IPCCostModel] = None,
         batching: Optional[bool] = None,
         max_batch: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.app_id = app_id
+        # Client-side fault injection: the only fault that fires here
+        # is a crash of the client process itself — everything else
+        # happens on the far side of the message queue.
+        self._faults = fault_plan
+        self.crashed = False
         # Batching defaults come from the server's hot-path config, so
         # enabling it in one place configures every attaching tenant;
         # explicit arguments override per client.
@@ -67,6 +75,17 @@ class GuardianClient(GpuBackend):
 
     def _call(self, method: str, *args, payload_bytes: int = 0,
               sync: bool = True):
+        if self.crashed:
+            raise ClientCrashed(self.app_id, method)
+        if self._faults is not None:
+            fired = self._faults.fire(Site.CLIENT, self.app_id, method)
+            if fired is not None and fired.kind is FaultKind.CLIENT_CRASH:
+                # The process dies before the message leaves it: any
+                # batch queued in the channel is stranded (never
+                # flushed), exactly the state the server-side reaper
+                # has to clean up after.
+                self.crashed = True
+                raise ClientCrashed(self.app_id, method)
         self.profile.charge(method, INTERCEPT_CYCLES)
         before = self.channel.stats.client_cycles
         result = self.channel.call(
@@ -78,7 +97,15 @@ class GuardianClient(GpuBackend):
         return result
 
     def close(self) -> None:
-        """Detach from the server and release the partition."""
+        """Detach from the server and release the partition.
+
+        A crashed client cannot say goodbye: its pending batch is
+        discarded (never delivered) and the server-side reaper — not
+        this method — reclaims the partition.
+        """
+        if self.crashed:
+            self.channel.abort()
+            return
         self._call("detach")
         self.channel.close()
 
@@ -168,6 +195,7 @@ def preload_guardian(
     ipc_costs: Optional[IPCCostModel] = None,
     batching: Optional[bool] = None,
     max_batch: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> GuardianClient:
     """Install the Guardian shim into a process (the LD_PRELOAD moment).
 
@@ -176,6 +204,7 @@ def preload_guardian(
     hold the real driver binding.
     """
     client = GuardianClient(server, app_id, max_bytes, ipc_costs=ipc_costs,
-                            batching=batching, max_batch=max_batch)
+                            batching=batching, max_batch=max_batch,
+                            fault_plan=fault_plan)
     loader.preload(LIBCUDA, client)
     return client

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import IPCError
+from repro.errors import ChannelClosedError, IPCError
 
 
 @dataclass(frozen=True)
@@ -71,6 +71,9 @@ class IPCStats:
     batches: int = 0
     batched_messages: int = 0
     largest_batch: int = 0
+    #: Queued calls thrown away by :meth:`IPCChannel.abort` — the
+    #: dead-client path must *not* deliver a crashed tenant's batch.
+    discarded_calls: int = 0
 
     @property
     def total_cycles(self) -> float:
@@ -130,9 +133,7 @@ class IPCChannel:
         backend surface returns ``None`` anyway).
         """
         if self._closed:
-            raise IPCError(
-                f"channel of app {self.app_id!r} is closed"
-            )
+            raise ChannelClosedError(self.app_id)
         self._resolve_handler(method)
         if self.batching and not sync:
             return self._enqueue(method, args, payload_bytes)
@@ -180,9 +181,38 @@ class IPCChannel:
         return len(self._queue)
 
     def close(self) -> None:
-        if not self._closed:
+        """Flush any pending batch and close the channel.
+
+        Idempotent: a second close is a no-op, and the channel ends up
+        closed even if the final flush raises (the error still
+        propagates, but a retried close won't redeliver the batch —
+        ``flush`` detaches the queue before dispatching).
+        """
+        if self._closed:
+            return
+        try:
             self.flush()
+        finally:
+            self._closed = True
+
+    def abort(self) -> int:
+        """Close without delivering: the dead-client teardown.
+
+        A client that crashes with a non-empty batch pending must not
+        have that batch executed on its behalf — the crash happened
+        *before* the flush point, so the deferred-submission contract
+        says those operations never reached the server. Returns how
+        many queued calls were discarded. Idempotent, like ``close``.
+        """
+        discarded = len(self._queue)
+        self._queue = []
+        self.stats.discarded_calls += discarded
         self._closed = True
+        return discarded
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     # -- internals ---------------------------------------------------------------
 

@@ -46,7 +46,7 @@ import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-from repro.errors import PatcherError
+from repro.errors import PatcherError, ReproError
 from repro.core.policy import FencingMode
 from repro.ptx import isa
 from repro.ptx.ast import (
@@ -181,9 +181,25 @@ class PTXPatcher:
     # -- public API --------------------------------------------------------------
 
     def patch_text(self, ptx_text: str) -> tuple[str, list[PatchReport]]:
-        """Patch PTX text (the cuobjdump output) and re-emit text."""
-        module, reports = self.patch_module(parse_module(ptx_text))
-        return emit_module(module), reports
+        """Patch PTX text (the cuobjdump output) and re-emit text.
+
+        The input is attacker-controlled (it came out of a tenant's
+        binary), so *any* failure — including a parser or patcher bug
+        tripped by truncated/garbage text — must surface as a
+        :class:`ReproError` the server can reject cleanly, never as a
+        raw ``IndexError``/``RecursionError`` that would take the
+        trusted process down with it.
+        """
+        try:
+            module, reports = self.patch_module(parse_module(ptx_text))
+            return emit_module(module), reports
+        except ReproError:
+            raise
+        except Exception as failure:  # noqa: BLE001 — containment boundary
+            raise PatcherError(
+                f"malformed PTX crashed the patcher "
+                f"({type(failure).__name__}: {failure})"
+            ) from failure
 
     def patch_module(self, module: Module
                      ) -> tuple[Module, list[PatchReport]]:

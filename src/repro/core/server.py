@@ -39,6 +39,7 @@ from repro.errors import (
     ExecutionError,
     GuardianError,
     LaunchError,
+    StreamFault,
 )
 from repro.core.allocator import GuardianAllocator
 from repro.core.patcher import PatchCache, PatchReport, PTXPatcher
@@ -151,6 +152,10 @@ class ServerStats:
     syncs: int = 0
     sync_drained_tasks: int = 0
     streams_destroyed: int = 0
+    # Containment counters (only move on the quarantine path).
+    tenants_quarantined: int = 0
+    bytes_scrubbed: int = 0
+    stream_faults_surfaced: int = 0
 
 
 @dataclass
@@ -471,6 +476,7 @@ class GuardianServer:
                       grid: tuple, block: tuple, params: list,
                       stream_id: int = 0):
         tenant = self._tenant(app_id)
+        self._raise_if_wedged(tenant)
         pair = tenant.functions.get(handle)
         if pair is None:
             raise LaunchError(
@@ -563,11 +569,65 @@ class GuardianServer:
         sync is a per-tenant operation, not a broadcast.
         """
         tenant = self._tenant(app_id)
+        self._raise_if_wedged(tenant)
         self.stats.syncs += 1
         self.stats.sync_drained_tasks += self.driver.cuStreamSynchronize(
             tenant.stream
         )
         return None, self.costs.dispatch
+
+    def _raise_if_wedged(self, tenant: _Tenant) -> None:
+        """Surface a sticky asynchronous stream fault at an ordering
+        point — CUDA's sticky-context-error semantics. Checking a
+        healthy stream is a no-cost predicate, so the stock per-op
+        costs are unchanged."""
+        if tenant.stream.fault is not None:
+            self.stats.stream_faults_surfaced += 1
+            raise StreamFault(tenant.app_id, tenant.stream.fault)
+
+    # -- quarantine (containment mechanics; policy lives in the supervisor) ----
+
+    def quarantine(self, app_id: str, reason: str = "") -> int:
+        """Forcibly evict a tenant, leaving nothing reusable behind.
+
+        The containment sequence the TenantSupervisor escalates to:
+
+        1. drain and destroy the tenant's stream (clears any sticky
+           fault with it),
+        2. drop its module/function handles and launch memo,
+        3. **scrub** the partition — zero every byte — before the
+           region returns to the free list, so no later tenant can
+           read the evicted tenant's data,
+        4. release the partition.
+
+        Other tenants are untouched by construction: their bounds
+        records (and epochs), partitions, streams and handles are
+        separate objects the sequence never reaches. Returns the number
+        of bytes scrubbed. Idempotent for unknown/already-evicted
+        tenants.
+        """
+        if app_id not in self._tenants:
+            return 0
+        scrubbed = 0
+
+        def scrub(base: int, size: int) -> None:
+            nonlocal scrubbed
+            self.device.memory.fill(base, size, 0)
+            scrubbed = size
+
+        tenant = self._tenants.pop(app_id)
+        self.stats.sync_drained_tasks += self.driver.cuStreamSynchronize(
+            tenant.stream
+        )
+        self.driver.cuStreamDestroy(self.context, tenant.stream)
+        self.stats.streams_destroyed += 1
+        tenant.functions.clear()
+        tenant.patch_reports.clear()
+        tenant.fast_launch = None
+        self.allocator.release_partition(app_id, scrubber=scrub)
+        self.stats.tenants_quarantined += 1
+        self.stats.bytes_scrubbed += scrubbed
+        return scrubbed
 
     def get_spec(self, app_id: str):
         return self.device.spec, self.costs.dispatch

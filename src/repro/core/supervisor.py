@@ -1,0 +1,365 @@
+"""Server-side tenant supervision: deadlines, retries, quarantine.
+
+The GuardianServer's handlers enforce *spatial* safety (bounds,
+partitions, patched PTX). The :class:`TenantSupervisor` wraps every
+handler with the *temporal* safety the production north star needs — a
+defined containment story for tenants that misbehave in ways the
+happy-path traps never see:
+
+- **per-tenant deadlines** — a call whose charged cycles exceed the
+  policy's deadline is recorded as a violation (the tenant is slow or
+  its messages are being delayed; either way it is burning the shared
+  server's time);
+- **bounded retry with backoff** — transient message-queue faults
+  (dropped or corrupted crossings, detected by sequence numbers /
+  checksums) are retried up to ``max_retries`` times with exponential
+  backoff before surfacing an :class:`IPCError`;
+- **a fault budget that escalates to quarantine** — every recorded
+  fault charges a kind-specific weight against the tenant's budget;
+  exhausting it (or hitting an unrecoverable fault: a wedged stream, a
+  dead client) triggers the server's containment sequence
+  (:meth:`GuardianServer.quarantine`): stream drained and destroyed,
+  handles dropped, partition scrubbed and reclaimed. Other tenants'
+  bounds-table epochs, partitions and in-flight batches are untouched.
+
+Fault *injection* also lives at this boundary: the supervisor is the
+server end of the message queue, so a :class:`FaultPlan`'s IPC, PTX,
+allocator and stream faults all fire here, deterministically.
+
+With no plan installed the wrapper is pure pass-through — zero extra
+cycles, so every per-operation cost stays bit-identical to the stock
+server (pinned by the gauntlet's no-plan test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.server import GuardianServer
+from repro.driver.fatbin import FatBinary
+from repro.errors import (
+    AllocationError,
+    BoundsViolation,
+    GuardianError,
+    LaunchError,
+    PTXError,
+    StreamFault,
+    TenantQuarantined,
+    TransientIPCFault,
+)
+from repro.faults.inject import mutate_fatbin, mutate_ptx_text
+from repro.faults.plan import FaultKind, FaultPlan, FiredFault, Site
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Knobs of the containment state machine (DESIGN.md §6)."""
+
+    #: Resend attempts for one transient IPC fault before giving up.
+    max_retries: int = 3
+    #: Backoff charged per resend attempt: base * 2**attempt cycles.
+    backoff_base_cycles: int = 4_000
+    #: Cycles detecting and dropping a duplicated message.
+    duplicate_detect_cycles: int = 700
+    #: Per-call deadline on the server's charged cycles.
+    deadline_cycles: float = 5_000_000.0
+    #: Budget a tenant may burn before quarantine.
+    fault_budget: float = 8.0
+    #: Weights charged against the budget per fault class.
+    weight_retry: float = 1.0
+    weight_exhausted: float = 4.0
+    weight_violation: float = 2.0
+    weight_ptx: float = 2.0
+    weight_alloc: float = 1.0
+    weight_deadline: float = 1.0
+    weight_rejected: float = 0.5
+    #: Zero the partition before the region is reusable.
+    scrub_on_quarantine: bool = True
+    #: A fresh ``attach`` after quarantine re-admits the tenant with a
+    #: zeroed budget (a new tenant instance, operator-sanctioned).
+    readmit_after_quarantine: bool = True
+
+
+@dataclass
+class FailureRecord:
+    """One structured failure event, surfaced via analysis/metrics."""
+
+    tenant: str
+    op: str
+    kind: str
+    action: str  # retried | exhausted | suppressed | delayed | rejected
+    #          # | fenced | armed | deadline | quarantined | reaped
+    attempts: int = 0
+    cycles: float = 0.0
+    detail: str = ""
+
+
+@dataclass
+class QuarantineRecord:
+    """One quarantine event: who, why, and what was reclaimed."""
+
+    tenant: str
+    reason: str
+    budget_spent: float
+    bytes_scrubbed: int
+
+
+@dataclass
+class _TenantState:
+    budget: float = 0.0
+    quarantined: bool = False
+    reason: str = ""
+    deadline_violations: int = 0
+
+
+#: The server handlers the supervisor wraps; everything else resolved
+#: through the supervisor forwards to the server unchanged.
+_HANDLERS = frozenset({
+    "attach", "detach", "grow_partition",
+    "malloc", "free",
+    "memcpy_h2d", "memcpy_d2h", "memcpy_d2d", "memset",
+    "register_fatbin", "load_module_ptx",
+    "launch_kernel", "create_stream", "synchronize", "get_spec",
+})
+
+
+class TenantSupervisor:
+    """Wraps a :class:`GuardianServer` as the IPC dispatch target."""
+
+    def __init__(self, server: GuardianServer,
+                 plan: Optional[FaultPlan] = None,
+                 policy: Optional[SupervisorPolicy] = None):
+        self._server = server
+        self.plan = plan
+        self.policy = policy or SupervisorPolicy()
+        self._states: dict[str, _TenantState] = {}
+        self.records: list[FailureRecord] = []
+        self.quarantines: list[QuarantineRecord] = []
+
+    @property
+    def server(self) -> GuardianServer:
+        return self._server
+
+    def install_plan(self, plan: Optional[FaultPlan]) -> None:
+        self.plan = plan
+
+    def __getattr__(self, name: str):
+        if name in _HANDLERS:
+            def handler(app_id, *args, _method=name):
+                return self._supervised(_method, app_id, *args)
+            return handler
+        return getattr(self._server, name)
+
+    # -- tenant state ------------------------------------------------------------
+
+    def state_of(self, app_id: str) -> _TenantState:
+        return self._states.setdefault(app_id, _TenantState())
+
+    def is_quarantined(self, app_id: str) -> bool:
+        state = self._states.get(app_id)
+        return state is not None and state.quarantined
+
+    def reap(self, app_id: str) -> None:
+        """Clean up after a dead client (crash detected out-of-band).
+
+        The client's stranded batch was discarded at its end of the
+        channel; here the server end quarantines whatever the tenant
+        left behind — partition, stream, handles.
+        """
+        state = self.state_of(app_id)
+        self._record(app_id, "<reaper>", FaultKind.CLIENT_CRASH.value,
+                     "reaped", detail="client died; server-side cleanup")
+        self._quarantine(app_id, state, "client crashed")
+
+    # -- the dispatch wrapper ----------------------------------------------------
+
+    def _supervised(self, method: str, app_id: str, *args):
+        state = self.state_of(app_id)
+        if state.quarantined:
+            if method == "attach" and self.policy.readmit_after_quarantine:
+                state = _TenantState()
+                self._states[app_id] = state
+            else:
+                raise TenantQuarantined(app_id, state.reason)
+
+        fired = None
+        if self.plan is not None:
+            fired = self.plan.fire(Site.SERVER, app_id, method)
+        fault_cycles = 0.0
+        armed_stream_fault: Optional[FiredFault] = None
+        if fired is not None:
+            fault_cycles, args, armed_stream_fault = self._apply_fault(
+                method, app_id, state, fired, args
+            )
+
+        try:
+            result, cycles = getattr(self._server, method)(app_id, *args)
+        except BoundsViolation as failure:
+            self._fail(state, app_id, method, "bounds_violation", "fenced",
+                       self.policy.weight_violation, detail=str(failure))
+            raise
+        except StreamFault as failure:
+            # The stream is wedged — no retry can help; contain now.
+            self._record(app_id, method, FaultKind.STREAM_FAULT.value,
+                         "quarantined", detail=str(failure))
+            self._quarantine(app_id, state,
+                             f"stream fault: {failure.reason}")
+            raise
+        except AllocationError as failure:
+            self._fail(state, app_id, method, "alloc_exhaust", "rejected",
+                       self.policy.weight_alloc, detail=str(failure))
+            raise
+        except PTXError as failure:
+            self._fail(state, app_id, method, "malformed_ptx", "rejected",
+                       self.policy.weight_ptx, detail=str(failure))
+            raise
+        except (GuardianError, LaunchError) as failure:
+            # PatcherError lands here too, as do handle/config rejections
+            # and server-terminated kernels: clean per-tenant errors, but
+            # a tenant producing them in bulk is misbehaving.
+            weight = (self.policy.weight_ptx
+                      if "patcher" in type(failure).__name__.lower()
+                      else self.policy.weight_rejected)
+            self._fail(state, app_id, method, type(failure).__name__,
+                       "rejected", weight, detail=str(failure))
+            raise
+
+        if armed_stream_fault is not None:
+            self._arm_stream_fault(app_id, method, armed_stream_fault)
+        if fault_cycles:
+            # Fault handling burns real server time; charge it to the
+            # busy clock and to the caller's critical path.
+            self._server._charge(fault_cycles)
+            cycles += fault_cycles
+        if cycles > self.policy.deadline_cycles:
+            state.deadline_violations += 1
+            self._fail(state, app_id, method, "deadline", "deadline",
+                       self.policy.weight_deadline,
+                       cycles=cycles,
+                       detail=f"{cycles:,.0f} > "
+                              f"{self.policy.deadline_cycles:,.0f} cycles")
+        if method == "detach":
+            self._states.pop(app_id, None)
+        return result, cycles
+
+    # -- fault application --------------------------------------------------------
+
+    def _apply_fault(self, method: str, app_id: str, state: _TenantState,
+                     fired: FiredFault, args: tuple):
+        """Realise one fired fault; returns (cycles, args, armed)."""
+        kind = fired.kind
+        if kind.retryable:
+            return self._retry_transport(method, app_id, state, fired), \
+                args, None
+        if kind is FaultKind.IPC_DUPLICATE:
+            cycles = float(self.policy.duplicate_detect_cycles)
+            self._record(app_id, method, kind.value, "suppressed",
+                         cycles=cycles,
+                         detail="duplicate delivery detected by seqno")
+            return cycles, args, None
+        if kind is FaultKind.IPC_DELAY:
+            self._record(app_id, method, kind.value, "delayed",
+                         cycles=fired.delay_cycles,
+                         detail=f"queued {fired.delay_cycles:,.0f} cycles")
+            return fired.delay_cycles, args, None
+        if kind is FaultKind.ALLOC_EXHAUST and method == "malloc":
+            self._fail(state, app_id, method, kind.value, "rejected",
+                       self.policy.weight_alloc,
+                       detail="injected partition exhaustion")
+            raise AllocationError(
+                f"tenant {app_id!r}: partition exhausted (injected)"
+            )
+        if kind in (FaultKind.PTX_TRUNCATE, FaultKind.PTX_CORRUPT):
+            return 0.0, self._mutate_module_args(method, args, fired), None
+        if kind is FaultKind.STREAM_FAULT:
+            return 0.0, args, fired
+        return 0.0, args, None
+
+    def _retry_transport(self, method: str, app_id: str,
+                         state: _TenantState, fired: FiredFault) -> float:
+        """Resend a dropped/corrupted crossing with exponential backoff."""
+        policy = self.policy
+        failed_attempts = fired.spec.times
+        if failed_attempts > policy.max_retries:
+            cycles = float(sum(
+                policy.backoff_base_cycles * 2 ** attempt
+                for attempt in range(policy.max_retries)
+            ))
+            self._server._charge(cycles)
+            self._fail(state, app_id, method, fired.kind.value, "exhausted",
+                       policy.weight_exhausted,
+                       attempts=policy.max_retries, cycles=cycles,
+                       detail="retry budget exhausted")
+            raise TransientIPCFault(app_id, method, fired.kind.value,
+                                    policy.max_retries)
+        cycles = float(sum(
+            policy.backoff_base_cycles * 2 ** attempt
+            for attempt in range(failed_attempts)
+        ))
+        self._bump(state, app_id, policy.weight_retry)
+        self._record(app_id, method, fired.kind.value, "retried",
+                     attempts=failed_attempts, cycles=cycles,
+                     detail=f"recovered after {failed_attempts} resend(s)")
+        return cycles
+
+    def _mutate_module_args(self, method: str, args: tuple,
+                            fired: FiredFault) -> tuple:
+        if method == "load_module_ptx" and args:
+            return (mutate_ptx_text(args[0], fired),) + args[1:]
+        if method == "register_fatbin" and args \
+                and isinstance(args[0], FatBinary):
+            return (mutate_fatbin(args[0], fired),) + args[1:]
+        return args
+
+    def _arm_stream_fault(self, app_id: str, method: str,
+                          fired: FiredFault) -> None:
+        tenant = self._server._tenants.get(app_id)
+        if tenant is None:
+            return
+        tenant.stream.fault = fired.reason
+        self._record(app_id, method, fired.kind.value, "armed",
+                     detail=f"async {fired.reason}; surfaces at next "
+                            f"ordering point")
+
+    # -- budget and quarantine ----------------------------------------------------
+
+    def _fail(self, state: _TenantState, app_id: str, op: str, kind: str,
+              action: str, weight: float, attempts: int = 0,
+              cycles: float = 0.0, detail: str = "") -> None:
+        self._record(app_id, op, kind, action, attempts=attempts,
+                     cycles=cycles, detail=detail)
+        self._bump(state, app_id, weight)
+
+    def _bump(self, state: _TenantState, app_id: str,
+              weight: float) -> None:
+        state.budget += weight
+        if not state.quarantined and state.budget >= self.policy.fault_budget:
+            self._quarantine(app_id, state, "fault budget exhausted")
+
+    def _quarantine(self, app_id: str, state: _TenantState,
+                    reason: str) -> None:
+        if state.quarantined:
+            return
+        state.quarantined = True
+        state.reason = reason
+        scrubbed = self._server.quarantine(app_id, reason=reason) \
+            if self.policy.scrub_on_quarantine else self._unscrubbed(app_id)
+        self.quarantines.append(QuarantineRecord(
+            tenant=app_id, reason=reason, budget_spent=state.budget,
+            bytes_scrubbed=scrubbed,
+        ))
+        self._record(app_id, "<quarantine>", "quarantine", "quarantined",
+                     detail=reason)
+
+    def _unscrubbed(self, app_id: str) -> int:
+        self._server.detach(app_id)
+        return 0
+
+    def _record(self, tenant: str, op: str, kind: str, action: str,
+                attempts: int = 0, cycles: float = 0.0,
+                detail: str = "") -> None:
+        self.records.append(FailureRecord(
+            tenant=tenant, op=op, kind=kind, action=action,
+            attempts=attempts, cycles=cycles, detail=detail,
+        ))

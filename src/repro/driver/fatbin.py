@@ -47,7 +47,13 @@ class FatbinEntry:
                 f"cuBIN entries are machine code; PTX cannot be "
                 f"recovered from a {self.arch} cuBIN"
             )
-        return self.payload.decode("utf-8")
+        try:
+            return self.payload.decode("utf-8")
+        except UnicodeDecodeError as failure:
+            raise DriverError(
+                f"corrupt {self.arch} PTX entry: undecodable byte at "
+                f"offset {failure.start}"
+            ) from failure
 
 
 @dataclass

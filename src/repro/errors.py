@@ -59,6 +59,22 @@ class ExecutionError(GPUError):
     """A kernel failed while executing (bad opcode, missing register...)."""
 
 
+class StreamFault(GPUError):
+    """An asynchronous fault surfaced on a stream.
+
+    Mirrors CUDA's sticky asynchronous errors: the fault is raised at
+    the next ordering point (synchronize or launch) after the faulting
+    operation, and the stream stays wedged until it is destroyed.
+    """
+
+    def __init__(self, app_id: str, reason: str):
+        self.app_id = app_id
+        self.reason = reason
+        super().__init__(
+            f"tenant {app_id!r}: asynchronous stream fault ({reason})"
+        )
+
+
 class LaunchError(GPUError):
     """A kernel launch was rejected (bad configuration, unknown symbol)."""
 
@@ -109,3 +125,59 @@ class PatcherError(GuardianError):
 
 class IPCError(GuardianError):
     """The client/server channel failed (closed, protocol mismatch)."""
+
+
+class ChannelClosedError(IPCError):
+    """A call was issued on a closed channel.
+
+    Raised instead of a hang or an ``AttributeError`` when a client
+    keeps using its channel after ``close()``/``abort()`` — the defined
+    behaviour for the dead-client case.
+    """
+
+    def __init__(self, app_id: str, detail: str = ""):
+        self.app_id = app_id
+        msg = f"channel of app {app_id!r} is closed"
+        if detail:
+            msg = f"{msg} ({detail})"
+        super().__init__(msg)
+
+
+class TransientIPCFault(IPCError):
+    """A message-queue crossing failed in a retryable way (dropped or
+    corrupted message). The TenantSupervisor retries these with backoff
+    before surfacing an :class:`IPCError` to the tenant."""
+
+    def __init__(self, app_id: str, op: str, kind: str, attempts: int):
+        self.app_id = app_id
+        self.op = op
+        self.kind = kind
+        self.attempts = attempts
+        super().__init__(
+            f"tenant {app_id!r}: {op} lost to IPC fault {kind!r} after "
+            f"{attempts} attempt(s)"
+        )
+
+
+class ClientCrashed(GuardianError):
+    """The client process died mid-call (fault injection's model of a
+    tenant crash). The channel is left with whatever batch was pending;
+    the server side reaps the tenant via quarantine."""
+
+    def __init__(self, app_id: str, op: str):
+        self.app_id = app_id
+        self.op = op
+        super().__init__(f"client {app_id!r} crashed during {op!r}")
+
+
+class TenantQuarantined(GuardianError):
+    """The tenant exhausted its fault budget and was quarantined: its
+    partition reclaimed and scrubbed, its stream drained and destroyed,
+    its handles dropped. Every subsequent call fails with this error."""
+
+    def __init__(self, app_id: str, reason: str):
+        self.app_id = app_id
+        self.reason = reason
+        super().__init__(
+            f"tenant {app_id!r} is quarantined ({reason})"
+        )

@@ -1,0 +1,26 @@
+"""Fault injection for the Guardian stack.
+
+The package every chaos / recovery PR builds on: deterministic
+:class:`FaultPlan` schedules (seeded, keyed on tenant/op/call-count),
+the payload mutators that realise them, and the taxonomy the
+TenantSupervisor's containment policy is written against.
+"""
+
+from repro.faults.plan import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    FiredFault,
+    Site,
+)
+from repro.faults.inject import mutate_fatbin, mutate_ptx_text
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FiredFault",
+    "Site",
+    "mutate_fatbin",
+    "mutate_ptx_text",
+]

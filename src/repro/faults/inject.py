@@ -1,0 +1,49 @@
+"""Payload mutators: how a fired fault actually mangles an argument.
+
+These are pure functions from (payload, fired fault) to the corrupted
+payload; the TenantSupervisor applies them to the handler arguments
+before dispatch. Keeping them here (rather than inside the supervisor)
+makes each mutation unit-testable and reusable by future chaos
+harnesses.
+"""
+
+from __future__ import annotations
+
+from repro.driver.fatbin import FatBinary, FatbinEntry
+from repro.faults.plan import FaultKind, FiredFault
+
+
+def mutate_ptx_text(ptx_text: str, fired: FiredFault) -> str:
+    """Truncate or corrupt one PTX module text."""
+    if not ptx_text:
+        return ptx_text
+    if fired.kind is FaultKind.PTX_TRUNCATE:
+        cut = max(1, int(len(ptx_text) * fired.truncate_at))
+        return ptx_text[:cut]
+    if fired.kind is FaultKind.PTX_CORRUPT:
+        # Overwrite a deterministic window with a garbage token: the
+        # parser must reject it, never crash on it.
+        position = max(0, int(len(ptx_text) * fired.truncate_at) - 1)
+        garbage = chr(33 + fired.corrupt_byte % 90) * 8
+        return ptx_text[:position] + garbage + ptx_text[position + 8 :]
+    return ptx_text
+
+
+def mutate_fatbin(fatbin: FatBinary, fired: FiredFault) -> FatBinary:
+    """Rebuild a fatBIN with every entry's payload mangled."""
+    entries = []
+    for entry in fatbin.entries:
+        payload = entry.payload
+        if payload:
+            if fired.kind is FaultKind.PTX_TRUNCATE:
+                cut = max(1, int(len(payload) * fired.truncate_at))
+                payload = payload[:cut]
+            elif fired.kind is FaultKind.PTX_CORRUPT:
+                position = max(0, int(len(payload) * fired.truncate_at) - 1)
+                payload = (
+                    payload[:position]
+                    + bytes([fired.corrupt_byte])
+                    + payload[position + 1 :]
+                )
+        entries.append(FatbinEntry(kind=entry.kind, arch=entry.arch, payload=payload))
+    return FatBinary(name=fatbin.name, entries=entries)

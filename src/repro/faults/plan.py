@@ -1,0 +1,226 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is the single source of misbehaviour for a run: a
+list of :class:`FaultSpec` rules keyed on (tenant, operation,
+call-count) plus a seeded RNG for the fault *parameters* (truncation
+points, corruption bytes, delay lengths). Every layer that can
+misbehave consults the plan at a well-defined **site**:
+
+- ``Site.SERVER`` — the server end of the message queue (the
+  TenantSupervisor's dispatch wrapper): IPC drops / duplicates /
+  delays / corruption, malformed PTX, allocator exhaustion, and
+  asynchronous stream faults are armed here;
+- ``Site.CLIENT`` — the client shim: client crashes mid-call fire
+  before the message ever reaches the queue.
+
+Determinism contract: the same plan (same specs, same seed) applied to
+the same call sequence fires the same faults with the same parameters.
+Call counters are kept per (site, tenant, op), so the client- and
+server-side consultations of one logical call never double-advance a
+counter.
+
+With **no plan installed** nothing in the stack consults anything: the
+hot path is bit-identical to the stock server (the acceptance bar the
+fault gauntlet pins).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+
+class Site(enum.Enum):
+    """Where in the stack a fault fires."""
+
+    CLIENT = "client"
+    SERVER = "server"
+
+
+class FaultKind(enum.Enum):
+    """The fault taxonomy (DESIGN.md §6)."""
+
+    #: Message-queue crossing lost; detected by the supervisor's
+    #: sequence numbers and retried with backoff.
+    IPC_DROP = "ipc_drop"
+    #: Message delivered twice; the duplicate is detected and
+    #: suppressed (the handler runs exactly once).
+    IPC_DUPLICATE = "ipc_duplicate"
+    #: Message delayed in the queue; the call completes late and may
+    #: trip the per-tenant deadline.
+    IPC_DELAY = "ipc_delay"
+    #: Message corrupted in the shared segment; detected by checksum
+    #: and retried like a drop.
+    IPC_CORRUPT = "ipc_corrupt"
+    #: The client process dies mid-call, possibly with a non-empty
+    #: batch pending in its channel.
+    CLIENT_CRASH = "client_crash"
+    #: The deployed module's PTX arrives truncated.
+    PTX_TRUNCATE = "ptx_truncate"
+    #: The deployed module's PTX arrives with corrupted bytes.
+    PTX_CORRUPT = "ptx_corrupt"
+    #: The tenant's partition reports exhaustion on malloc.
+    ALLOC_EXHAUST = "alloc_exhaust"
+    #: The simulated GPU raises an asynchronous fault on the tenant's
+    #: stream, surfaced at the next ordering point (sticky).
+    STREAM_FAULT = "stream_fault"
+
+    @property
+    def site(self) -> Site:
+        if self is FaultKind.CLIENT_CRASH:
+            return Site.CLIENT
+        return Site.SERVER
+
+    @property
+    def retryable(self) -> bool:
+        """Transient queue faults the supervisor retries with backoff."""
+        return self in (FaultKind.IPC_DROP, FaultKind.IPC_CORRUPT)
+
+
+#: Operations each kind can target when a spec leaves ``op`` as None.
+_DEFAULT_OPS: dict[FaultKind, tuple[str, ...]] = {
+    FaultKind.PTX_TRUNCATE: ("register_fatbin", "load_module_ptx"),
+    FaultKind.PTX_CORRUPT: ("register_fatbin", "load_module_ptx"),
+    FaultKind.ALLOC_EXHAUST: ("malloc",),
+    FaultKind.STREAM_FAULT: ("launch_kernel", "memcpy_h2d", "memset"),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule: *kind* fires for *tenant* on *op* at call N.
+
+    ``tenant`` / ``op`` of ``None`` match any tenant / any operation
+    valid for the kind. ``at_call`` fires on the Nth matching call
+    (1-based); ``every`` fires periodically instead. ``times`` is how
+    many consecutive delivery attempts fail (retryable kinds only).
+    ``magnitude`` scales kind-specific parameters: delay cycles for
+    IPC_DELAY, truncation/corruption fraction for the PTX kinds.
+    """
+
+    kind: FaultKind
+    tenant: str | None = None
+    op: str | None = None
+    at_call: int | None = 1
+    every: int | None = None
+    times: int = 1
+    magnitude: float = 1.0
+
+    def matches(self, tenant: str, op: str, call_no: int) -> bool:
+        if self.tenant is not None and self.tenant != tenant:
+            return False
+        if self.op is not None:
+            if self.op != op:
+                return False
+        else:
+            allowed = _DEFAULT_OPS.get(self.kind)
+            if allowed is not None and op not in allowed:
+                return False
+        if self.every is not None:
+            return call_no % self.every == 0
+        return call_no == (self.at_call or 1)
+
+
+@dataclass
+class FiredFault:
+    """One firing of a spec, with its drawn parameters."""
+
+    spec: FaultSpec
+    tenant: str
+    op: str
+    call_no: int
+    #: Kind-specific parameters drawn from the plan's RNG.
+    delay_cycles: float = 0.0
+    truncate_at: float = 1.0
+    corrupt_byte: int = 0
+    reason: str = ""
+
+    @property
+    def kind(self) -> FaultKind:
+        return self.spec.kind
+
+
+class FaultPlan:
+    """An ordered set of fault specs plus the RNG for their parameters.
+
+    ``fire(site, tenant, op)`` advances the (site, tenant, op) call
+    counter and returns a :class:`FiredFault` when the first matching
+    spec triggers, else ``None``. A spec fires at most once per
+    matching (tenant, op, call-count) — ``every`` specs re-fire on the
+    period.
+    """
+
+    def __init__(self, specs: tuple[FaultSpec, ...] | list[FaultSpec] = (), seed: int = 0):
+        self.specs = tuple(specs)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._counters: dict[tuple[Site, str, str], int] = {}
+        self.fired: list[FiredFault] = []
+
+    def fire(self, site: Site, tenant: str, op: str) -> FiredFault | None:
+        key = (site, tenant, op)
+        call_no = self._counters.get(key, 0) + 1
+        self._counters[key] = call_no
+        for spec in self.specs:
+            if spec.kind.site is not site:
+                continue
+            if not spec.matches(tenant, op, call_no):
+                continue
+            fired = self._parameterise(spec, tenant, op, call_no)
+            self.fired.append(fired)
+            return fired
+        return None
+
+    def call_count(self, site: Site, tenant: str, op: str) -> int:
+        return self._counters.get((site, tenant, op), 0)
+
+    def _parameterise(self, spec: FaultSpec, tenant: str, op: str, call_no: int) -> FiredFault:
+        fired = FiredFault(spec=spec, tenant=tenant, op=op, call_no=call_no)
+        if spec.kind is FaultKind.IPC_DELAY:
+            # 50k..2M cycles, scaled by the spec's magnitude.
+            fired.delay_cycles = spec.magnitude * self._rng.randint(50_000, 2_000_000)
+        elif spec.kind in (FaultKind.PTX_TRUNCATE, FaultKind.PTX_CORRUPT):
+            fired.truncate_at = min(0.95, 0.1 + 0.8 * self._rng.random() * spec.magnitude)
+            fired.corrupt_byte = self._rng.randrange(256)
+        elif spec.kind is FaultKind.STREAM_FAULT:
+            fired.reason = self._rng.choice(
+                ("xid-13 illegal address", "xid-31 mmu fault", "watchdog timeout")
+            )
+        return fired
+
+    # -- canned plans -----------------------------------------------------------
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: int,
+        tenants: list[str] | tuple[str, ...],
+        calls_per_tenant: int = 30,
+        faults_per_tenant: int = 3,
+    ) -> "FaultPlan":
+        """A deterministic chaos schedule for the fault gauntlet.
+
+        Draws ``faults_per_tenant`` specs per tenant from the full
+        taxonomy, with firing points spread across the expected call
+        volume. The same seed always produces the same plan.
+        """
+        rng = random.Random(seed)
+        kinds = list(FaultKind)
+        specs: list[FaultSpec] = []
+        for tenant in tenants:
+            for _ in range(faults_per_tenant):
+                kind = rng.choice(kinds)
+                ops = _DEFAULT_OPS.get(kind)
+                op = rng.choice(ops) if ops else None
+                specs.append(
+                    FaultSpec(
+                        kind=kind,
+                        tenant=tenant,
+                        op=op,
+                        at_call=rng.randint(1, max(2, calls_per_tenant // 2)),
+                        times=rng.randint(1, 5),
+                        magnitude=0.5 + rng.random(),
+                    )
+                )
+        return cls(specs, seed=seed)

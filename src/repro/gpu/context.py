@@ -40,11 +40,22 @@ class Context:
 
     def destroy_stream(self, stream: Stream) -> None:
         """Forget a stream (cuStreamDestroy). The default stream is
-        owned by the context and cannot be destroyed."""
+        owned by the context and cannot be destroyed.
+
+        Destroying a stream is the one way to clear a sticky
+        asynchronous fault — the wedged FIFO's state dies with it,
+        which is exactly what quarantine relies on.
+        """
         if stream is self.default_stream:
             raise ValueError(
                 f"context {self.name!r}: the default stream cannot be "
                 f"destroyed"
             )
+        stream.fault = None
         if stream in self.streams:
             self.streams.remove(stream)
+
+    @property
+    def wedged_streams(self) -> list[Stream]:
+        """Streams carrying an unresolved asynchronous fault."""
+        return [stream for stream in self.streams if stream.wedged]

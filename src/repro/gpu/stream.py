@@ -22,8 +22,18 @@ class Stream:
     stream_id: int = field(default_factory=_STREAM_IDS.__next__)
     #: Sequence numbers of tasks submitted and not yet synchronised.
     pending_tasks: int = 0
+    #: Sticky asynchronous fault, modelled after CUDA's sticky context
+    #: errors: ``None`` while healthy; once set, the fault surfaces at
+    #: every subsequent ordering point (launch, synchronize) until the
+    #: stream is destroyed. Set by fault injection or by the device.
+    fault: str | None = None
 
     @property
     def key(self) -> tuple[int, int]:
         """The (context, stream) pair used by the timeline simulator."""
         return (self.context_id, self.stream_id)
+
+    @property
+    def wedged(self) -> bool:
+        """A faulted stream accepts no further work."""
+        return self.fault is not None

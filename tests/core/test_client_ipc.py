@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import GuardianError, IPCError
+from repro.errors import ChannelClosedError, GuardianError, IPCError
 from repro.core.client import GuardianClient, preload_guardian
 from repro.core.ipc import IPCChannel, IPCCostModel
 from repro.core.policy import FencingMode
@@ -37,6 +37,62 @@ class TestIPCChannel:
         channel.close()
         with pytest.raises(IPCError):
             channel.call("ping", 1)
+
+    def test_call_after_close_raises_channel_closed(self):
+        """The dead-client contract: a specific error type, not a hang
+        or an AttributeError."""
+        channel = IPCChannel(self._Echo(), "app")
+        channel.close()
+        with pytest.raises(ChannelClosedError, match="'app'"):
+            channel.call("ping", 1)
+
+    def test_close_is_idempotent(self):
+        channel = IPCChannel(self._Echo(), "app", batching=True)
+        channel.call("ping", 1, sync=False)
+        assert channel.queued_calls == 1
+        channel.close()
+        channel.close()
+        channel.close()
+        assert channel.closed
+        # The batch was delivered exactly once.
+        assert channel.stats.batches == 1
+        assert channel.stats.batched_messages == 1
+
+    def test_close_marks_closed_even_when_flush_raises(self):
+        class Exploder:
+            def boom(self, app_id):
+                raise GuardianError("server-side failure")
+
+        channel = IPCChannel(Exploder(), "app", batching=True)
+        channel.call("boom", sync=False)
+        with pytest.raises(GuardianError):
+            channel.close()
+        assert channel.closed
+        channel.close()  # second close: clean no-op
+        with pytest.raises(ChannelClosedError):
+            channel.call("boom", sync=False)
+
+    def test_abort_discards_pending_batch(self):
+        """A client that dies with a non-empty batch pending must not
+        have that batch executed on its behalf."""
+        delivered = []
+
+        class Recorder:
+            def op(self, app_id, value):
+                delivered.append(value)
+                return None, 10
+
+        channel = IPCChannel(Recorder(), "app", batching=True, max_batch=64)
+        channel.call("op", 1, sync=False)
+        channel.call("op", 2, sync=False)
+        assert channel.queued_calls == 2
+        assert channel.abort() == 2
+        assert delivered == []
+        assert channel.stats.discarded_calls == 2
+        assert channel.closed
+        assert channel.abort() == 0  # idempotent too
+        with pytest.raises(ChannelClosedError):
+            channel.call("op", 3, sync=False)
 
     def test_sync_call_blocks_on_server(self):
         costs = IPCCostModel(roundtrip=1000, marshal=100)

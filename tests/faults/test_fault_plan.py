@@ -1,0 +1,125 @@
+"""FaultPlan semantics: deterministic, keyed on (tenant, op, call #)."""
+
+from repro.driver.fatbin import build_fatbin
+from repro.faults.inject import mutate_fatbin, mutate_ptx_text
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec, Site
+
+from tests.conftest import saxpy_module
+
+
+class TestMatching:
+    def test_fires_on_exact_call_number(self):
+        plan = FaultPlan([FaultSpec(FaultKind.IPC_DROP, tenant="a", op="malloc", at_call=3)])
+        assert plan.fire(Site.SERVER, "a", "malloc") is None
+        assert plan.fire(Site.SERVER, "a", "malloc") is None
+        fired = plan.fire(Site.SERVER, "a", "malloc")
+        assert fired is not None and fired.kind is FaultKind.IPC_DROP
+        assert fired.call_no == 3
+        assert plan.fire(Site.SERVER, "a", "malloc") is None
+
+    def test_counters_keyed_per_tenant_and_op(self):
+        plan = FaultPlan([FaultSpec(FaultKind.IPC_DROP, tenant="a", op="malloc", at_call=2)])
+        # Other tenants and other ops advance separate counters.
+        assert plan.fire(Site.SERVER, "b", "malloc") is None
+        assert plan.fire(Site.SERVER, "a", "free") is None
+        assert plan.fire(Site.SERVER, "a", "malloc") is None
+        assert plan.fire(Site.SERVER, "b", "malloc") is None
+        assert plan.fire(Site.SERVER, "a", "malloc") is not None
+        assert plan.call_count(Site.SERVER, "a", "malloc") == 2
+
+    def test_wildcard_tenant(self):
+        plan = FaultPlan([FaultSpec(FaultKind.IPC_DELAY, tenant=None, op="synchronize", at_call=1)])
+        assert plan.fire(Site.SERVER, "x", "synchronize") is not None
+        assert plan.fire(Site.SERVER, "y", "synchronize") is not None
+
+    def test_every_fires_periodically(self):
+        plan = FaultPlan([FaultSpec(FaultKind.IPC_DUPLICATE, tenant="a", op="malloc", every=2)])
+        hits = [plan.fire(Site.SERVER, "a", "malloc") is not None for _ in range(6)]
+        assert hits == [False, True, False, True, False, True]
+
+    def test_kind_restricted_to_its_default_ops(self):
+        plan = FaultPlan([FaultSpec(FaultKind.ALLOC_EXHAUST, tenant="a", at_call=1)])
+        # ALLOC_EXHAUST only targets malloc; a free call can't fire it.
+        assert plan.fire(Site.SERVER, "a", "free") is None
+        assert plan.fire(Site.SERVER, "a", "malloc") is not None
+
+    def test_client_and_server_sites_are_separate(self):
+        plan = FaultPlan([FaultSpec(FaultKind.CLIENT_CRASH, tenant="a", op="malloc", at_call=2)])
+        # Server-side consultations never advance the client counter.
+        assert plan.fire(Site.SERVER, "a", "malloc") is None
+        assert plan.fire(Site.SERVER, "a", "malloc") is None
+        assert plan.fire(Site.CLIENT, "a", "malloc") is None
+        assert plan.fire(Site.CLIENT, "a", "malloc") is not None
+
+
+class TestDeterminism:
+    def _drive(self, plan):
+        trace = []
+        for tenant in ("a", "b"):
+            for op in ("malloc", "launch_kernel", "synchronize"):
+                for _ in range(10):
+                    fired = plan.fire(Site.SERVER, tenant, op)
+                    if fired is not None:
+                        trace.append(
+                            (
+                                tenant,
+                                op,
+                                fired.call_no,
+                                fired.kind.value,
+                                fired.delay_cycles,
+                                fired.truncate_at,
+                                fired.corrupt_byte,
+                                fired.reason,
+                            )
+                        )
+        return trace
+
+    def test_same_seed_same_schedule(self):
+        for seed in range(5):
+            plans = [FaultPlan.chaos(seed, ["a", "b"], calls_per_tenant=10) for _ in range(2)]
+            assert list(plans[0].specs) == list(plans[1].specs)
+            assert self._drive(plans[0]) == self._drive(plans[1])
+
+    def test_different_seeds_differ(self):
+        schedules = {
+            tuple(self._drive(FaultPlan.chaos(seed, ["a", "b"], calls_per_tenant=10)))
+            for seed in range(5)
+        }
+        assert len(schedules) > 1
+
+    def test_parameters_drawn_from_seeded_rng(self):
+        spec = FaultSpec(FaultKind.IPC_DELAY, tenant="a", op="synchronize", at_call=1)
+        first = FaultPlan([spec], seed=7).fire(Site.SERVER, "a", "synchronize")
+        second = FaultPlan([spec], seed=7).fire(Site.SERVER, "a", "synchronize")
+        assert first.delay_cycles == second.delay_cycles > 0
+
+
+class TestMutators:
+    def test_truncate_ptx_text(self):
+        text = "\n".join(f"line{i}" for i in range(100))
+        spec = FaultSpec(FaultKind.PTX_TRUNCATE)
+        fired = FaultPlan([spec], seed=1)._parameterise(spec, "a", "load_module_ptx", 1)
+        mutated = mutate_ptx_text(text, fired)
+        assert 0 < len(mutated) < len(text)
+        assert text.startswith(mutated)
+
+    def test_corrupt_ptx_text_preserves_length(self):
+        text = "x" * 400
+        spec = FaultSpec(FaultKind.PTX_CORRUPT)
+        fired = FaultPlan([spec], seed=2)._parameterise(spec, "a", "load_module_ptx", 1)
+        mutated = mutate_ptx_text(text, fired)
+        assert len(mutated) == len(text)
+        assert mutated != text
+
+    def test_mutate_fatbin_rebuilds_entries(self):
+        fatbin = build_fatbin(saxpy_module(), "lib", "11.7")
+        spec = FaultSpec(FaultKind.PTX_TRUNCATE)
+        fired = FaultPlan([spec], seed=3)._parameterise(spec, "a", "register_fatbin", 1)
+        mutated = mutate_fatbin(fatbin, fired)
+        assert mutated is not fatbin
+        assert len(mutated.entries) == len(fatbin.entries)
+        assert all(
+            len(m.payload) <= len(o.payload) for m, o in zip(mutated.entries, fatbin.entries)
+        )
+        # The original is untouched (plans must not mutate in place).
+        assert fatbin.entries[0].payload
