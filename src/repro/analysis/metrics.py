@@ -72,6 +72,8 @@ class HotPathMetrics:
     ipc_roundtrips: int = 0
     ipc_batches: int = 0
     ipc_batched_messages: int = 0
+    ipc_aborted_batches: int = 0
+    ipc_discarded_calls: int = 0
     server_cycles: float = 0.0
     client_cycles: float = 0.0
 
@@ -123,13 +125,90 @@ def collect_hotpath(server, clients=()) -> HotPathMetrics:
         stats = channel.stats
         metrics.ipc_messages += stats.messages
         # Batched messages share one queue crossing per batch; every
-        # other message paid its own.
+        # other message paid its own — except discarded calls, which
+        # were queued but never crossed at all (the client died before
+        # its flush point).
         metrics.ipc_roundtrips += (
-            stats.messages - stats.batched_messages + stats.batches
+            stats.messages - stats.batched_messages
+            - stats.discarded_calls + stats.batches
         )
         metrics.ipc_batches += stats.batches
         metrics.ipc_batched_messages += stats.batched_messages
+        metrics.ipc_aborted_batches += stats.aborted_batches
+        metrics.ipc_discarded_calls += stats.discarded_calls
         metrics.client_cycles += stats.client_cycles
+    return metrics
+
+
+@dataclass
+class LaneMetrics:
+    """Concurrent-dispatch occupancy: how well tenant lanes overlap.
+
+    ``total_work`` is the server's busy clock (sum of every charge);
+    ``makespan`` the critical path across lanes. Their ratio — the
+    modelled speedup over serial dispatch — is what the multi-tenant
+    scaling benchmark gates on. In serial mode the two are equal and
+    every derived figure degenerates to 1.0 / empty.
+    """
+
+    total_work: float = 0.0
+    makespan: float = 0.0
+    critical_cycles: float = 0.0
+    stall_cycles: float = 0.0
+    lane_count: int = 0
+    #: app_id -> {busy, critical, stalled, finish, ops}; a re-admitted
+    #: tenant's retired and live lanes fold into one row.
+    lanes: dict = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """Modelled makespan speedup over serial dispatch."""
+        if not self.makespan:
+            return 1.0
+        return self.total_work / self.makespan
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """Speedup as a fraction of the lane count (1.0 = perfectly
+        parallel lanes, 1/n = fully serialized)."""
+        if not self.lane_count:
+            return 1.0
+        return self.speedup / self.lane_count
+
+    @property
+    def critical_share(self) -> float:
+        """Fraction of all work spent inside the shared section."""
+        if not self.total_work:
+            return 0.0
+        return self.critical_cycles / self.total_work
+
+    def occupancy(self, app_id: str) -> float:
+        """Fraction of the makespan ``app_id``'s lane was busy."""
+        lane = self.lanes.get(app_id)
+        if lane is None or not self.makespan:
+            return 0.0
+        return lane["busy"] / self.makespan
+
+
+def collect_lanes(server) -> LaneMetrics:
+    """Snapshot lane occupancy from a GuardianServer (live + retired)."""
+    metrics = LaneMetrics(
+        total_work=server.stats.cycles,
+        makespan=server.makespan_cycles(),
+    )
+    for lane in server.lanes():
+        metrics.lane_count += 1
+        metrics.critical_cycles += lane.critical
+        metrics.stall_cycles += lane.stalled
+        row = metrics.lanes.setdefault(lane.app_id, {
+            "busy": 0.0, "critical": 0.0, "stalled": 0.0,
+            "finish": 0.0, "ops": 0,
+        })
+        row["busy"] += lane.busy
+        row["critical"] += lane.critical
+        row["stalled"] += lane.stalled
+        row["finish"] = max(row["finish"], lane.clock)
+        row["ops"] += lane.ops
     return metrics
 
 

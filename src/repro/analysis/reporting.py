@@ -130,6 +130,42 @@ def render_hotpath_report(metrics, title: str = "Hot-path caches") -> str:
         f"clients {metrics.client_cycles:,.0f} = "
         f"{metrics.total_cycles:,.0f}",
     ]
+    if metrics.ipc_aborted_batches or metrics.ipc_discarded_calls:
+        lines.insert(2, (
+            f"ipc aborts: {metrics.ipc_aborted_batches} batches "
+            f"discarded ({metrics.ipc_discarded_calls} calls never "
+            f"delivered)"
+        ))
+    return "\n".join(lines)
+
+
+def render_lane_report(metrics, title: str = "Dispatch lanes") -> str:
+    """Per-lane occupancy and the overlap summary.
+
+    ``metrics`` is an :class:`repro.analysis.metrics.LaneMetrics` from
+    :func:`repro.analysis.metrics.collect_lanes`.
+    """
+    rows = [
+        [app_id, f"{row['busy']:,.0f}", f"{row['critical']:,.0f}",
+         f"{row['stalled']:,.0f}", f"{row['finish']:,.0f}",
+         row["ops"], percent(metrics.occupancy(app_id))]
+        for app_id, row in sorted(metrics.lanes.items())
+    ]
+    table = render_table(
+        ["lane", "busy", "critical", "stalled", "finish", "ops",
+         "occupancy"],
+        rows, title=title,
+    )
+    lines = [
+        table,
+        f"work {metrics.total_work:,.0f} over makespan "
+        f"{metrics.makespan:,.0f} cycles = "
+        f"{metrics.speedup:.2f}x modelled speedup "
+        f"({percent(metrics.overlap_efficiency)} of "
+        f"{metrics.lane_count} lanes)",
+        f"critical section: {percent(metrics.critical_share)} of work, "
+        f"{metrics.stall_cycles:,.0f} cycles stalled waiting",
+    ]
     return "\n".join(lines)
 
 

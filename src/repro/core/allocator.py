@@ -18,6 +18,7 @@ partitioning, the paper's stated limitation; resizing is future work).
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 
 from repro.errors import AllocationError, PartitionError
@@ -245,21 +246,30 @@ class GuardianAllocator:
         )
 
     def _insert_gap(self, gap: _Gap) -> None:
-        position = 0
-        while (
-            position < len(self._gaps)
-            and self._gaps[position].start < gap.start
-        ):
-            position += 1
-        self._gaps.insert(position, gap)
-        # Coalesce with neighbours.
-        merged = True
-        while merged:
-            merged = False
-            for index in range(len(self._gaps) - 1):
-                current, following = self._gaps[index], self._gaps[index + 1]
-                if current.start + current.size == following.start:
-                    current.size += following.size
-                    del self._gaps[index + 1]
-                    merged = True
-                    break
+        """Insert into the start-sorted gap list.
+
+        The list is kept sorted at all times, so insertion is a bisect
+        probe and coalescing only ever needs to look at the two
+        immediate neighbours — freed regions are disjoint, so no other
+        gap can become adjacent. (The previous linear position scan
+        plus repeated whole-list merge passes made a 1k malloc/free
+        churn quadratic; the micro-bench in
+        tests/core/test_guardian_allocator.py pins the new bound.)
+        """
+        gaps = self._gaps
+        position = bisect.bisect_left(
+            gaps, gap.start, key=lambda entry: entry.start
+        )
+        previous = gaps[position - 1] if position else None
+        if previous is not None \
+                and previous.start + previous.size == gap.start:
+            previous.size += gap.size
+            merged, index = previous, position - 1
+        else:
+            gaps.insert(position, gap)
+            merged, index = gap, position
+        if index + 1 < len(gaps):
+            following = gaps[index + 1]
+            if merged.start + merged.size == following.start:
+                merged.size += following.size
+                del gaps[index + 1]

@@ -117,6 +117,15 @@ class GuardianClient(GpuBackend):
         """
         return self._call("grow_partition", new_max_bytes)
 
+    def flush(self) -> int:
+        """Deliver any batched asynchronous calls now; returns how many
+        were delivered. A no-op without batching — callers that want an
+        explicit submission point (benchmark harnesses, checkpointing)
+        don't need to know whether the channel batches."""
+        if self.crashed:
+            raise ClientCrashed(self.app_id, "flush")
+        return self.channel.flush()
+
     # -- GpuBackend interface ------------------------------------------------------
 
     def malloc(self, size: int) -> int:

@@ -72,8 +72,11 @@ class IPCStats:
     batched_messages: int = 0
     largest_batch: int = 0
     #: Queued calls thrown away by :meth:`IPCChannel.abort` — the
-    #: dead-client path must *not* deliver a crashed tenant's batch.
+    #: dead-client path must *not* deliver a crashed tenant's batch —
+    #: and how many aborts actually discarded a non-empty batch, so
+    #: fault-gauntlet runs can separate delivered from aborted batching.
     discarded_calls: int = 0
+    aborted_batches: int = 0
 
     @property
     def total_cycles(self) -> float:
@@ -81,7 +84,15 @@ class IPCStats:
 
     @property
     def mean_batch_size(self) -> float:
-        return self.batched_messages / self.batches if self.batches else 0.0
+        """Mean calls per *delivered* batch.
+
+        Aborted batches are tracked separately (``aborted_batches`` /
+        ``discarded_calls``) and never dilute this figure; a channel
+        that never flushed reports 0.0 rather than dividing by zero.
+        """
+        if not self.batches:
+            return 0.0
+        return self.batched_messages / self.batches
 
 
 @dataclass
@@ -207,6 +218,8 @@ class IPCChannel:
         discarded = len(self._queue)
         self._queue = []
         self.stats.discarded_calls += discarded
+        if discarded:
+            self.stats.aborted_batches += 1
         self._closed = True
         return discarded
 

@@ -43,7 +43,9 @@ state of a predicated-off access.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.errors import PatcherError, ReproError
@@ -168,6 +170,158 @@ class PatchCache:
 
     def __contains__(self, key: tuple[str, FencingMode]) -> bool:
         return key in self._entries
+
+
+class ThreadSafePatchCache(PatchCache):
+    """A :class:`PatchCache` safe to share across patcher threads.
+
+    Every operation (probe, insert, len, contains) holds one mutex, so
+    the LRU bookkeeping — ``move_to_end`` + eviction — can never be
+    interleaved by two workers of the server's patch pool. The values
+    themselves stay immutable, so hits may still be returned by
+    reference without copying.
+    """
+
+    def __init__(self, capacity: int = 64):
+        super().__init__(capacity)
+        self._mutex = threading.RLock()
+
+    def get(self, ptx_text: str, mode: FencingMode
+            ) -> tuple[str, list[PatchReport]] | None:
+        with self._mutex:
+            return super().get(ptx_text, mode)
+
+    def put(self, ptx_text: str, mode: FencingMode,
+            patched_text: str, reports: list[PatchReport]) -> int:
+        with self._mutex:
+            return super().put(ptx_text, mode, patched_text, reports)
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return super().__len__()
+
+    def __contains__(self, key: tuple[str, FencingMode]) -> bool:
+        with self._mutex:
+            return super().__contains__(key)
+
+
+@dataclass(frozen=True)
+class PatchOutcome:
+    """One text's trip through the parallel patch front-end.
+
+    ``source`` is one of ``"hit"`` (already cached), ``"join"``
+    (another worker was patching the same content hash; we waited on
+    its result — no second patch ran, no second patch is charged) or
+    ``"patched"`` (this call ran the patcher).
+    """
+
+    patched_text: str
+    reports: list[PatchReport]
+    source: str
+
+
+class ParallelPatcher:
+    """Thread-pooled, single-flight front-end over a :class:`PTXPatcher`.
+
+    The patcher is pure CPU and the patch cache is content-addressed,
+    which makes cold patches *mergeable*: two tenants deploying the
+    same library concurrently need one parse+patch, not two. This
+    class provides
+
+    - **single-flight misses**: concurrent :meth:`patch` calls on the
+      same ``sha256(text)`` collapse onto one in-flight patch; the
+      losers block on a :class:`~concurrent.futures.Future` and report
+      ``source="join"`` so the caller charges a probe, not a patch;
+    - **a worker pool** (:meth:`patch_many`): distinct cold texts of
+      one deployment are patched on up to ``workers`` threads.
+
+    All cache traffic goes through the (thread-safe) cache the caller
+    supplies; with ``cache=None`` the front-end degrades to plain
+    patching (every call reports ``"patched"``).
+    """
+
+    def __init__(self, patcher: PTXPatcher,
+                 cache: PatchCache | None = None,
+                 workers: int = 1):
+        if workers < 1:
+            raise PatcherError(f"bad patch worker count {workers}")
+        self.patcher = patcher
+        self.cache = cache
+        self.workers = workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._mutex = threading.Lock()
+        self._inflight: dict[tuple[str, FencingMode], Future] = {}
+        #: How many parse+patch passes actually ran (the thread-safety
+        #: tests pin this to 1 for N concurrent same-hash misses).
+        self.patches_run = 0
+        #: Cumulative LRU evictions caused by this front-end's inserts;
+        #: the server diffs it around a batch to keep its stats exact.
+        self.evictions = 0
+
+    def patch(self, ptx_text: str) -> PatchOutcome:
+        """Patch one text through the cache with single-flight misses."""
+        if self.cache is None:
+            patched_text, reports = self.patcher.patch_text(ptx_text)
+            with self._mutex:
+                self.patches_run += 1
+            return PatchOutcome(patched_text, reports, "patched")
+        key = PatchCache.key_for(ptx_text, self.patcher.mode)
+        with self._mutex:
+            cached = self.cache.get(ptx_text, self.patcher.mode)
+            if cached is not None:
+                return PatchOutcome(cached[0], cached[1], "hit")
+            pending = self._inflight.get(key)
+            if pending is None:
+                pending = Future()
+                self._inflight[key] = pending
+                owner = True
+            else:
+                owner = False
+        if not owner:
+            patched_text, reports = pending.result()
+            return PatchOutcome(patched_text, reports, "join")
+        try:
+            patched_text, reports = self.patcher.patch_text(ptx_text)
+        except BaseException as failure:
+            pending.set_exception(failure)
+            with self._mutex:
+                self._inflight.pop(key, None)
+            raise
+        evicted = self.cache.put(
+            ptx_text, self.patcher.mode, patched_text, reports
+        )
+        with self._mutex:
+            self.patches_run += 1
+            self.evictions += evicted
+            self._inflight.pop(key, None)
+        pending.set_result((patched_text, reports))
+        return PatchOutcome(patched_text, reports, "patched")
+
+    def patch_many(self, ptx_texts: list[str]) -> list[PatchOutcome]:
+        """Patch a batch of texts, fanning cold ones across the pool.
+
+        Results come back in input order. Duplicate texts inside one
+        batch resolve through the single-flight path: the first
+        occurrence patches, the rest join.
+        """
+        if len(ptx_texts) <= 1 or self.workers == 1:
+            return [self.patch(text) for text in ptx_texts]
+        pool = self._ensure_pool()
+        futures = [pool.submit(self.patch, text) for text in ptx_texts]
+        return [future.result() for future in futures]
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="guardian-patch",
+            )
+        return self._pool
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
 
 class PTXPatcher:

@@ -1,6 +1,16 @@
-"""Bounds-enforcement policies (the paper's §4.4 trade-off space).
+"""Bounds-enforcement and lane-scheduling policies.
 
-Guardian supports three schemes, selectable at run time:
+Two pluggable policy families live here:
+
+1. **Bounds enforcement** (:class:`FencingMode`, the paper's §4.4
+   trade-off space) — which sandboxing scheme the patcher/server apply.
+2. **Lane scheduling** (:class:`LaneSchedulingPolicy`) — when the
+   server runs in concurrent-dispatch mode (``ServerConfig.concurrency``,
+   DESIGN.md §7), which tenant's lane advances first at each
+   serialization point (the shared critical section guarding
+   bounds-table writes, allocator mutations and patch-cache misses).
+
+Guardian supports three bounds schemes, selectable at run time:
 
 =============  =========  =============  ==========================
 mode           ~cycles    partition      semantics on violation
@@ -56,3 +66,85 @@ _EXTRA_PARAMS = {
     ),
     FencingMode.CHECKING: ("guardian_base", "guardian_end"),
 }
+
+
+# --------------------------------------------------------------------------
+# Lane scheduling (concurrent dispatch, DESIGN.md §7)
+# --------------------------------------------------------------------------
+
+
+class LaneSchedulingPolicy:
+    """Arbitration of the server's shared critical section.
+
+    When concurrent dispatch is enabled every tenant accumulates host
+    cycles on its own lane; host-side serialization points charge one
+    shared critical section. The policy decides the *start time* of a
+    lane's next critical-section entry, given the lane's own clock and
+    the instant the section last became free. Implementations must be
+    deterministic (pure functions of the accounting state) so modelled
+    makespans are reproducible.
+    """
+
+    name = "base"
+
+    def grant(self, lane, lanes, critical_clock: float) -> float:
+        """Return the cycle instant at which ``lane`` may enter the
+        shared critical section.
+
+        ``lane`` carries ``clock`` (lane-local completion time) and
+        ``critical`` (cycles this lane has already spent inside the
+        section); ``lanes`` is the mapping of all live lanes;
+        ``critical_clock`` is when the section last became free. The
+        returned instant is clamped to ``max(lane.clock,
+        critical_clock)`` by the caller, so a policy only ever *delays*
+        entry, never reorders completed work.
+        """
+        raise NotImplementedError
+
+
+class FifoLanePolicy(LaneSchedulingPolicy):
+    """First-come-first-served: a lane enters the section as soon as
+    both the lane and the section are free. A tenant that hammers
+    serialization points can monopolise the section."""
+
+    name = "fifo"
+
+    def grant(self, lane, lanes, critical_clock: float) -> float:
+        return max(lane.clock, critical_clock)
+
+
+class FairShareLanePolicy(LaneSchedulingPolicy):
+    """Virtual-time fair queuing over the shared critical section.
+
+    Each lane's *virtual time* is its accumulated critical-section
+    usage scaled by the number of live lanes: a lane that has consumed
+    more than its time-proportional share is throttled until the
+    section clock catches up with its normalized usage, leaving gaps
+    its siblings can use. With symmetric tenants this degenerates to
+    FIFO; with one spammy tenant it bounds that tenant's share at
+    ~1/n without starving it.
+    """
+
+    name = "fair"
+
+    def grant(self, lane, lanes, critical_clock: float) -> float:
+        virtual = lane.critical * max(1, len(lanes))
+        return max(lane.clock, critical_clock, virtual)
+
+
+_LANE_POLICIES = {
+    "fifo": FifoLanePolicy,
+    "fair": FairShareLanePolicy,
+    "fair-share": FairShareLanePolicy,
+}
+
+
+def lane_scheduling_policy(name: str) -> LaneSchedulingPolicy:
+    """Resolve a ``ServerConfig.lane_policy`` string to a policy."""
+    try:
+        return _LANE_POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown lane policy {name!r}; expected one of "
+            f"{sorted(_LANE_POLICIES)}"
+        ) from None

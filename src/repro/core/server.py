@@ -26,6 +26,21 @@ The server (the paper's *gSafeServer*, §4.2):
 Every public handler returns ``(result, server_cycles)`` — the
 :class:`~repro.core.ipc.IPCChannel` charges the cycles back onto the
 calling tenant's critical path.
+
+**Concurrent dispatch (DESIGN.md §7).** With
+``ServerConfig.concurrency`` enabled the server additionally books
+every charge onto the calling tenant's *dispatch lane*: lane-local
+work (range checks, launch lookup/augment/syscall, driver work)
+advances only that tenant's lane clock, while host-side serialization
+points — bounds-table writes, allocator mutations, patch-cache
+misses — pass through one shared critical section arbitrated by a
+pluggable :class:`~repro.core.policy.LaneSchedulingPolicy`. Aggregate
+host makespan (:meth:`GuardianServer.makespan_cycles`) then becomes
+the critical path across lanes instead of the serial sum, and stream
+releases are driven by the lane clock, so independent tenants' device
+work overlaps. ``stats.cycles`` keeps its serial meaning — total work,
+which with the knob off (the default) is also the makespan — so all
+Table 5 numbers stay bit-identical.
 """
 
 from __future__ import annotations
@@ -42,8 +57,14 @@ from repro.errors import (
     StreamFault,
 )
 from repro.core.allocator import GuardianAllocator
-from repro.core.patcher import PatchCache, PatchReport, PTXPatcher
-from repro.core.policy import FencingMode
+from repro.core.patcher import (
+    ParallelPatcher,
+    PatchCache,
+    PatchReport,
+    PTXPatcher,
+    ThreadSafePatchCache,
+)
+from repro.core.policy import FencingMode, lane_scheduling_policy
 from repro.driver.api import DriverAPI
 from repro.driver.fatbin import FatBinary, cuobjdump
 from repro.gpu.device import Device
@@ -108,6 +129,21 @@ class ServerConfig:
       in server cycles. Off by default because the paper reports
       patching as an offline phase outside the launch path; benchmarks
       that quantify the cache turn it on in *both* arms.
+    - ``concurrency``: per-tenant dispatch lanes with overlap-aware
+      cycle accounting (module docstring, DESIGN.md §7). ``stats``
+      totals are unchanged; :meth:`GuardianServer.makespan_cycles` and
+      stream release instants become lane-local.
+    - ``lane_policy``: which tenant's lane enters the shared critical
+      section first at each ordering point (``"fifo"`` or ``"fair"``,
+      resolved by :func:`~repro.core.policy.lane_scheduling_policy`).
+    - ``patch_workers``: thread-pool width for cold-PTX patching in
+      concurrency mode; single-flight dedup means concurrent same-hash
+      misses still run (and charge) exactly one patch.
+    - ``coalesce_transfer_checks``: contiguous chunked
+      ``memcpy_*``/``memset`` ranges collapse into one charged
+      ``_check_range`` per run (the containment predicate itself is
+      still evaluated for every chunk — only the modelled cost is
+      coalesced).
     """
 
     enable_patch_cache: bool = False
@@ -116,6 +152,10 @@ class ServerConfig:
     enable_ipc_batching: bool = False
     ipc_max_batch: int = 64
     charge_patch_cycles: bool = False
+    concurrency: bool = False
+    lane_policy: str = "fifo"
+    patch_workers: int = 4
+    coalesce_transfer_checks: bool = False
 
     @classmethod
     def hotpath(cls, **overrides) -> "ServerConfig":
@@ -124,6 +164,19 @@ class ServerConfig:
             enable_patch_cache=True,
             enable_launch_fast_path=True,
             enable_ipc_batching=True,
+        )
+        values.update(overrides)
+        return cls(**values)
+
+    @classmethod
+    def concurrent(cls, **overrides) -> "ServerConfig":
+        """Concurrent multi-tenant dispatch plus every hot-path cache."""
+        values = dict(
+            enable_patch_cache=True,
+            enable_launch_fast_path=True,
+            enable_ipc_batching=True,
+            concurrency=True,
+            coalesce_transfer_checks=True,
         )
         values.update(overrides)
         return cls(**values)
@@ -156,6 +209,10 @@ class ServerStats:
     tenants_quarantined: int = 0
     bytes_scrubbed: int = 0
     stream_faults_surfaced: int = 0
+    # Concurrent-dispatch counters (zero unless the knobs are on).
+    checks_coalesced: int = 0
+    patch_inflight_joins: int = 0
+    lanes_retired: int = 0
 
 
 @dataclass
@@ -171,6 +228,26 @@ class _Tenant:
     #: Launch fast path memo: (bounds-table epoch, fencing values).
     #: Stale whenever the epoch no longer matches the table's.
     fast_launch: Optional[tuple[int, list]] = None
+
+
+@dataclass
+class _Lane:
+    """Per-tenant dispatch-lane accounting (concurrency mode only).
+
+    A lane is pure bookkeeping: ``clock`` is the lane-local instant at
+    which the tenant's last host-side work completed, ``busy`` the
+    total work executed on the lane's behalf, ``critical``/``stalled``
+    the portions spent inside — and waiting for — the shared critical
+    section. The sum of every lane's ``busy`` equals ``stats.cycles``
+    (work is conserved); the max of their clocks is the makespan.
+    """
+
+    app_id: str
+    clock: float = 0.0
+    busy: float = 0.0
+    critical: float = 0.0
+    stalled: float = 0.0
+    ops: int = 0
 
 
 class GuardianServer:
@@ -190,15 +267,30 @@ class GuardianServer:
         self.standalone_native = standalone_native
         self.config = config or ServerConfig()
         self.stats = ServerStats()
-        # Hot-path caches (None = knob off, seed behaviour).
+        # Hot-path caches (None = knob off, seed behaviour). In
+        # concurrency mode the cache is the thread-safe variant because
+        # the patch pool's workers share it.
+        cache_class = (
+            ThreadSafePatchCache if self.config.concurrency else PatchCache
+        )
         self._patch_cache: Optional[PatchCache] = (
-            PatchCache(self.config.patch_cache_capacity)
+            cache_class(self.config.patch_cache_capacity)
             if self.config.enable_patch_cache else None
         )
         self._extract_cache: Optional[dict] = (
             {} if self.config.enable_patch_cache else None
         )
         self._clock_ratio = device.spec.clock_ghz / CPU_GHZ
+        # Concurrent-dispatch state (inert while the knob is off).
+        self._concurrent = self.config.concurrency
+        self._lane_policy = lane_scheduling_policy(self.config.lane_policy)
+        self._lanes: dict[str, _Lane] = {}
+        self._retired_lanes: list[_Lane] = []
+        self._active_lane: Optional[_Lane] = None
+        self._critical_clock = 0.0
+        self._coalesce = self.config.coalesce_transfer_checks
+        #: app_id -> run-kind -> (record, next expected address).
+        self._check_runs: dict[str, dict[str, tuple]] = {}
         # The server's driver: single context, PTX JIT forced so the
         # patched PTX always wins over embedded cuBINs.
         self.driver = DriverAPI(device, force_ptx_jit=True)
@@ -216,6 +308,17 @@ class GuardianServer:
             or mode is FencingMode.NONE,
         )
         self.patcher = PTXPatcher(mode)
+        # The parallel patch front-end exists only in concurrency mode;
+        # it shares the (thread-safe) patch cache so its results are
+        # visible to every tenant's later registrations.
+        self._parallel_patcher: Optional[ParallelPatcher] = (
+            ParallelPatcher(
+                self.patcher,
+                cache=self._patch_cache,
+                workers=self.config.patch_workers,
+            )
+            if self._concurrent else None
+        )
         self._tenants: dict[str, _Tenant] = {}
 
     # -- tenant lifecycle (not IPC-charged: happens once at attach) -----------
@@ -230,11 +333,20 @@ class GuardianServer:
             stream=self.driver.cuStreamCreate(self.context),
         )
         self._tenants[app_id] = tenant
+        if self._concurrent:
+            # A fresh lane starts at the critical clock: attaching is a
+            # bounds-table write, so the newcomer orders after whatever
+            # serialized work is already in flight.
+            self._lanes[app_id] = _Lane(
+                app_id=app_id, clock=self._critical_clock
+            )
+            self._active_lane = self._lanes[app_id]
         return None, self.costs.dispatch
 
     def detach(self, app_id: str):
         """Tear a tenant down: drain and destroy its stream, drop its
         module/function handles, release its partition."""
+        self._enter(app_id)
         tenant = self._tenants.pop(app_id, None)
         if tenant is not None:
             # Submitted work keeps its functional effects (the deferred
@@ -249,6 +361,7 @@ class GuardianServer:
             tenant.patch_reports.clear()
             tenant.fast_launch = None
         self.allocator.release_partition(app_id)
+        self._retire_lane(app_id)
         return None, self.costs.dispatch
 
     def grow_partition(self, app_id: str, new_max_bytes: int):
@@ -259,9 +372,12 @@ class GuardianServer:
         widens, which subsequent launches pick up automatically from
         the refreshed bounds-table record.
         """
+        self._enter(app_id)
         self._tenant(app_id)  # must be attached
         partition = self.allocator.grow_partition(app_id, new_max_bytes)
-        self._charge(self.costs.malloc)
+        # A grow rewrites the tenant's bounds record — a serialization
+        # point every lane must order against.
+        self._charge(self.costs.malloc, critical=True)
         return partition.size, self.costs.malloc
 
     @property
@@ -277,24 +393,28 @@ class GuardianServer:
     # -- memory management (served from the tenant's partition) ----------------
 
     def malloc(self, app_id: str, size: int):
+        self._enter(app_id)
         address = self.allocator.malloc(app_id, size)
         cycles = self.costs.malloc + self.costs.driver.malloc
-        self._charge(cycles)
+        # Allocator mutations serialize across lanes.
+        self._charge(cycles, critical=True)
         return address, cycles
 
     def free(self, app_id: str, address: int):
+        self._enter(app_id)
         self.allocator.free(app_id, address)
         cycles = self.costs.free + self.costs.driver.free
-        self._charge(cycles)
+        self._charge(cycles, critical=True)
         return None, cycles
 
     # -- checked transfers (§4.2.2) ----------------------------------------------
 
     def memcpy_h2d(self, app_id: str, dst: int, data: bytes,
                    stream_id: int = 0):
-        record = self.allocator.bounds.lookup(app_id)
+        self._enter(app_id)
+        record = self.allocator.bounds.read(app_id)
         cycles = self._check_range(app_id, record, dst, len(data),
-                                   "H2D destination")
+                                   "H2D destination", run="h2d")
         tenant = self._tenant(app_id)
         cycles += self._charge(self.costs.driver.memcpy)
         self.driver.cuMemcpyHtoD(tenant.stream, dst, data, tag=app_id,
@@ -303,8 +423,10 @@ class GuardianServer:
 
     def memcpy_d2h(self, app_id: str, src: int, size: int,
                    stream_id: int = 0):
-        record = self.allocator.bounds.lookup(app_id)
-        cycles = self._check_range(app_id, record, src, size, "D2H source")
+        self._enter(app_id)
+        record = self.allocator.bounds.read(app_id)
+        cycles = self._check_range(app_id, record, src, size, "D2H source",
+                                   run="d2h")
         tenant = self._tenant(app_id)
         cycles += self._charge(self.costs.driver.memcpy)
         data = self.driver.cuMemcpyDtoH(tenant.stream, src, size, tag=app_id,
@@ -313,10 +435,12 @@ class GuardianServer:
 
     def memcpy_d2d(self, app_id: str, dst: int, src: int, size: int,
                    stream_id: int = 0):
-        record = self.allocator.bounds.lookup(app_id)
-        cycles = self._check_range(app_id, record, src, size, "D2D source")
+        self._enter(app_id)
+        record = self.allocator.bounds.read(app_id)
+        cycles = self._check_range(app_id, record, src, size, "D2D source",
+                                   run="d2d:src")
         cycles += self._check_range(app_id, record, dst, size,
-                                    "D2D destination")
+                                    "D2D destination", run="d2d:dst")
         tenant = self._tenant(app_id)
         cycles += self._charge(self.costs.driver.memcpy)
         self.driver.cuMemcpyDtoD(tenant.stream, dst, src, size, tag=app_id,
@@ -325,9 +449,10 @@ class GuardianServer:
 
     def memset(self, app_id: str, dst: int, value: int, size: int,
                stream_id: int = 0):
-        record = self.allocator.bounds.lookup(app_id)
+        self._enter(app_id)
+        record = self.allocator.bounds.read(app_id)
         cycles = self._check_range(app_id, record, dst, size,
-                                   "memset destination")
+                                   "memset destination", run="memset")
         tenant = self._tenant(app_id)
         cycles += self._charge(self.costs.driver.memcpy)
         self.driver.cuMemsetD8(tenant.stream, dst, value, size, tag=app_id,
@@ -335,7 +460,7 @@ class GuardianServer:
         return None, cycles
 
     def _check_range(self, app_id: str, record, address: int, size: int,
-                     what: str) -> float:
+                     what: str, run: Optional[str] = None) -> float:
         """Charge and return one range check's cost.
 
         Charging happens here and nowhere else, so a handler's returned
@@ -343,12 +468,36 @@ class GuardianServer:
         always equals the ``stats.cycles`` delta it caused — including
         on the violation path, where the check is charged and then the
         transfer is fenced off before any driver work.
+
+        With ``coalesce_transfer_checks`` on, contiguous chunked ranges
+        of one operation kind (``run``) against one partition record
+        collapse into a single charged check per run: an extension that
+        starts exactly where the previous chunk ended still evaluates
+        the containment predicate (safety is unchanged) but skips the
+        ``transfer_check`` charge. Any discontinuity — or any bounds
+        mutation, which replaces the record object — starts a new run.
         """
+        if run is not None and self._coalesce:
+            runs = self._check_runs.setdefault(app_id, {})
+            memo = runs.get(run)
+            if (
+                memo is not None
+                and memo[0] is record
+                and memo[1] == address
+                and record.contains(address, size)
+            ):
+                runs[run] = (record, address + size)
+                self.stats.checks_coalesced += 1
+                return 0.0
         self.stats.transfers_checked += 1
         cost = self._charge(self.costs.transfer_check)
         if not record.contains(address, size):
             self.stats.transfers_rejected += 1
             raise BoundsViolation(app_id, address, size, detail=what)
+        if run is not None and self._coalesce:
+            self._check_runs.setdefault(app_id, {})[run] = (
+                record, address + size
+            )
         return cost
 
     # -- device code deployment (offline phase, §4.3) ------------------------------
@@ -360,6 +509,7 @@ class GuardianServer:
         the native variant are loaded so the server can pick per
         launch.
         """
+        self._enter(app_id)
         tenant = self._tenant(app_id)
         ptx_texts, cycles = self._extract_ptx(fatbin)
         if not ptx_texts:
@@ -367,17 +517,18 @@ class GuardianServer:
                 f"fatbin {fatbin.name!r} carries no PTX; Guardian "
                 f"cannot sandbox cuBIN-only binaries"
             )
+        patched, patch_cycles = self._patch_texts(ptx_texts)
+        cycles += patch_cycles
         handles: dict[str, int] = {}
-        for ptx_text in ptx_texts:
-            text_handles, patch_cycles = self._load_ptx_pair(
-                tenant, ptx_text
+        for ptx_text, (patched_text, reports) in zip(ptx_texts, patched):
+            handles.update(
+                self._load_modules(tenant, ptx_text, patched_text, reports)
             )
-            handles.update(text_handles)
-            cycles += patch_cycles
         return handles, self.costs.dispatch + cycles
 
     def load_module_ptx(self, app_id: str, ptx_text: str):
         """Explicit PTX load (the driver-API path some apps use)."""
+        self._enter(app_id)
         tenant = self._tenant(app_id)
         handles, cycles = self._load_ptx_pair(tenant, ptx_text)
         return handles, self.costs.dispatch + cycles
@@ -406,6 +557,8 @@ class GuardianServer:
         A cache hit shares the patched text *and* the report list by
         reference across tenants — both are immutable once produced.
         """
+        if self._parallel_patcher is not None:
+            return self._patch_one_pooled(ptx_text)
         if self._patch_cache is not None:
             cached = self._patch_cache.get(ptx_text, self.mode)
             if cached is not None:
@@ -427,21 +580,106 @@ class GuardianServer:
             self.costs.patch_module
         )
 
-    def _patch_charge(self, cycles: float) -> float:
+    def _patch_one_pooled(self, ptx_text: str) -> tuple[str, list, float]:
+        """One text through the single-flight parallel patch front-end
+        (concurrency mode). Same stats/charging contract as the serial
+        cache path; an in-flight join counts as a hit — one patch ran
+        somewhere, and only that one is charged a ``patch_module``."""
+        patcher = self._parallel_patcher
+        evictions_before = patcher.evictions
+        outcome = patcher.patch(ptx_text)
+        self.stats.patch_cache_evictions += (
+            patcher.evictions - evictions_before
+        )
+        if outcome.source == "patched":
+            if self._patch_cache is not None:
+                self.stats.patch_cache_misses += 1
+            charged = self._patch_charge(
+                self.costs.patch_module, critical=True
+            )
+        else:
+            self.stats.patch_cache_hits += 1
+            if outcome.source == "join":
+                self.stats.patch_inflight_joins += 1
+            charged = self._patch_charge(self.costs.patch_lookup)
+        return outcome.patched_text, outcome.reports, charged
+
+    def _patch_texts(self, ptx_texts: list[str]
+                     ) -> tuple[list[tuple[str, list]], float]:
+        """Patch one deployment's texts; returns ``([(patched_text,
+        reports), ...], charged cycles)`` in input order.
+
+        Serial mode delegates to :meth:`_patch_text` per text. In
+        concurrency mode cold texts fan out across the patch pool: the
+        *charged span* is the pool's critical path — ``ceil(cold /
+        workers)`` rounds of ``patch_module`` — while ``stats.cycles``
+        still absorbs the full ``cold × patch_module`` of work (work is
+        conserved; only the lane clock advances by the shorter span).
+        """
+        patcher = self._parallel_patcher
+        if patcher is None or len(ptx_texts) <= 1:
+            results: list[tuple[str, list]] = []
+            charged = 0.0
+            for ptx_text in ptx_texts:
+                patched_text, reports, cycles = self._patch_text(ptx_text)
+                results.append((patched_text, reports))
+                charged += cycles
+            return results, charged
+        evictions_before = patcher.evictions
+        outcomes = patcher.patch_many(ptx_texts)
+        self.stats.patch_cache_evictions += (
+            patcher.evictions - evictions_before
+        )
+        hits = 0
+        cold = 0
+        for outcome in outcomes:
+            if outcome.source == "patched":
+                cold += 1
+                if self._patch_cache is not None:
+                    self.stats.patch_cache_misses += 1
+            else:
+                hits += 1
+                self.stats.patch_cache_hits += 1
+                if outcome.source == "join":
+                    self.stats.patch_inflight_joins += 1
+        charged = 0.0
+        if hits:
+            charged += self._patch_charge(self.costs.patch_lookup * hits)
+        if cold:
+            rounds = -(-cold // patcher.workers)
+            charged += self._patch_charge(
+                self.costs.patch_module * rounds,
+                critical=True,
+                work=self.costs.patch_module * cold,
+            )
+        return [
+            (outcome.patched_text, outcome.reports) for outcome in outcomes
+        ], charged
+
+    def _patch_charge(self, cycles: float, critical: bool = False,
+                      work: Optional[float] = None) -> float:
         """Offline-phase work is only accounted when the config says
         so — the paper keeps patching out of the measured hot path."""
         if not self.config.charge_patch_cycles:
             return 0.0
-        return self._charge(cycles)
+        return self._charge(cycles, critical=critical, work=work)
 
     def _load_ptx_pair(self, tenant: _Tenant, ptx_text: str
                        ) -> tuple[dict[str, int], float]:
+        patched_text, reports, patch_cycles = self._patch_text(ptx_text)
+        handles = self._load_modules(tenant, ptx_text, patched_text, reports)
+        return handles, patch_cycles
+
+    def _load_modules(self, tenant: _Tenant, ptx_text: str,
+                      patched_text: str, reports: list
+                      ) -> dict[str, int]:
+        """Load the sandboxed/native module pair for one already-patched
+        text and hand out client handles."""
         partition = self.allocator.partition(tenant.app_id)
 
         def allocate_in_partition(name: str, size: int) -> int:
             return partition.malloc(size)
 
-        patched_text, reports, patch_cycles = self._patch_text(ptx_text)
         tenant.patch_reports.extend(reports)
         self.stats.kernels_patched += sum(
             1 for report in reports if report.is_entry
@@ -468,13 +706,14 @@ class GuardianServer:
                 self.driver.cuModuleGetFunction(native, name),
             )
             handles[name] = handle
-        return handles, patch_cycles
+        return handles
 
     # -- kernel launch (§4.2.3) -------------------------------------------------------
 
     def launch_kernel(self, app_id: str, handle: int,
                       grid: tuple, block: tuple, params: list,
                       stream_id: int = 0):
+        self._enter(app_id)
         tenant = self._tenant(app_id)
         self._raise_if_wedged(tenant)
         pair = tenant.functions.get(handle)
@@ -537,12 +776,12 @@ class GuardianServer:
             if memo is not None and memo[0] == epoch:
                 self.stats.fastpath_hits += 1
                 return memo[1], float(self.costs.lookup_cached)
-            record = self.allocator.bounds.lookup(tenant.app_id)
+            record = self.allocator.bounds.read(tenant.app_id)
             extra = record.extra_param_values(self.mode)
             tenant.fast_launch = (epoch, extra)
             self.stats.fastpath_misses += 1
             return extra, float(self.costs.lookup + self.costs.augment)
-        record = self.allocator.bounds.lookup(tenant.app_id)
+        record = self.allocator.bounds.read(tenant.app_id)
         extra = record.extra_param_values(self.mode)
         return extra, float(self.costs.lookup + self.costs.augment)
 
@@ -556,6 +795,7 @@ class GuardianServer:
         (§4.2.4) — so extra client streams alias the same server
         stream.
         """
+        self._enter(app_id)
         tenant = self._tenant(app_id)
         return tenant.stream.stream_id, self.costs.dispatch
 
@@ -568,6 +808,7 @@ class GuardianServer:
         device's next timeline pass. Unknown tenants are rejected —
         sync is a per-tenant operation, not a broadcast.
         """
+        self._enter(app_id)
         tenant = self._tenant(app_id)
         self._raise_if_wedged(tenant)
         self.stats.syncs += 1
@@ -602,9 +843,13 @@ class GuardianServer:
 
         Other tenants are untouched by construction: their bounds
         records (and epochs), partitions, streams and handles are
-        separate objects the sequence never reaches. Returns the number
-        of bytes scrubbed. Idempotent for unknown/already-evicted
-        tenants.
+        separate objects the sequence never reaches — in concurrency
+        mode the quarantine drains *one lane*, not the world: the
+        victim's lane is retired (its clock still counts toward the
+        makespan — the work happened) while sibling lanes, their
+        clocks and their check-run memos are never touched. Returns the
+        number of bytes scrubbed. Idempotent for unknown/already-
+        evicted tenants.
         """
         if app_id not in self._tenants:
             return 0
@@ -625,25 +870,109 @@ class GuardianServer:
         tenant.patch_reports.clear()
         tenant.fast_launch = None
         self.allocator.release_partition(app_id, scrubber=scrub)
+        self._retire_lane(app_id)
         self.stats.tenants_quarantined += 1
         self.stats.bytes_scrubbed += scrubbed
         return scrubbed
 
     def get_spec(self, app_id: str):
+        self._enter(app_id)
         return self.device.spec, self.costs.dispatch
 
     def patch_reports(self, app_id: str) -> list[PatchReport]:
         return self._tenant(app_id).patch_reports
 
-    def _charge(self, cycles: float) -> float:
+    # -- lane accounting (concurrent dispatch, DESIGN.md §7) --------------------
+
+    def _enter(self, app_id: str) -> None:
+        """Route the handler's subsequent charges onto ``app_id``'s
+        dispatch lane. A no-op in serial mode; unknown tenants simply
+        leave no lane active (their handlers raise before charging)."""
+        if not self._concurrent:
+            return
+        lane = self._lanes.get(app_id)
+        self._active_lane = lane
+        if lane is not None:
+            lane.ops += 1
+
+    def _charge(self, cycles: float, critical: bool = False,
+                work: Optional[float] = None) -> float:
         """Add host work to the server's busy clock; returns the amount
-        so call sites can sum exactly what they charged."""
-        self.stats.cycles += cycles
+        so call sites can sum exactly what they charged.
+
+        ``work`` defaults to ``cycles``; the parallel patch path passes
+        a larger ``work`` (total cycles executed across the pool) with
+        a smaller ``cycles`` span (the pool's critical path), so
+        ``stats.cycles`` conserves work while the lane clock advances
+        by wall time. ``critical`` charges route through the shared
+        critical section: the active lane first waits for the grant
+        instant the scheduling policy picks, then occupies the section
+        for ``cycles`` — that's how bounds writes, allocator mutations
+        and patch-cache misses serialize across lanes.
+        """
+        work_cycles = cycles if work is None else work
+        self.stats.cycles += work_cycles
+        lane = self._active_lane
+        if lane is not None:
+            lane.busy += work_cycles
+            if critical:
+                start = max(
+                    lane.clock,
+                    self._critical_clock,
+                    self._lane_policy.grant(
+                        lane, self._lanes, self._critical_clock
+                    ),
+                )
+                lane.stalled += start - lane.clock
+                lane.clock = start + cycles
+                lane.critical += cycles
+                self._critical_clock = lane.clock
+            else:
+                lane.clock += cycles
         return cycles
 
     def _release(self) -> float:
         """Device-clock instant at which the server finished issuing
-        the current operation. Because the server processes all
-        tenants' calls serially, these releases are monotone across
-        tenants — the server-bottleneck effect of §6.1."""
+        the current operation. In serial mode the server processes all
+        tenants' calls on one timeline, so releases are monotone across
+        tenants — the server-bottleneck effect of §6.1. In concurrency
+        mode the release is the *lane's* clock: monotone per tenant,
+        which is all the in-order-per-application guarantee needs, and
+        precisely what lets independent tenants' device work overlap."""
+        if self._active_lane is not None:
+            return self._active_lane.clock * self._clock_ratio
         return self.stats.cycles * self._clock_ratio
+
+    def makespan_cycles(self) -> float:
+        """Host-side completion time of everything dispatched so far.
+
+        Serial mode: the busy clock itself (sum of all charges).
+        Concurrency mode: the critical path — the latest lane clock
+        across live *and* retired lanes (quarantined work still
+        happened) and the shared section's clock.
+        """
+        if not self._concurrent:
+            return self.stats.cycles
+        clocks = [lane.clock for lane in self._lanes.values()]
+        clocks.extend(lane.clock for lane in self._retired_lanes)
+        clocks.append(self._critical_clock)
+        return max(clocks, default=0.0)
+
+    def lanes(self) -> list[_Lane]:
+        """Every lane ever created (live first, then retired)."""
+        return list(self._lanes.values()) + list(self._retired_lanes)
+
+    def lane_view(self, app_id: str) -> Optional[_Lane]:
+        """The tenant's live lane, or None (serial mode / retired)."""
+        return self._lanes.get(app_id)
+
+    def _retire_lane(self, app_id: str) -> None:
+        """Fold a departing tenant's lane into the retired set and drop
+        its coalesced-check memos. Sibling lanes are untouched."""
+        self._check_runs.pop(app_id, None)
+        lane = self._lanes.pop(app_id, None)
+        if lane is not None:
+            self._retired_lanes.append(lane)
+            self.stats.lanes_retired += 1
+            if self._active_lane is lane:
+                self._active_lane = None

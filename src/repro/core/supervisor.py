@@ -97,12 +97,19 @@ class FailureRecord:
 
 @dataclass
 class QuarantineRecord:
-    """One quarantine event: who, why, and what was reclaimed."""
+    """One quarantine event: who, why, and what was reclaimed.
+
+    ``lane_cycles`` is the victim's dispatch-lane clock at eviction
+    (0.0 in serial mode): quarantine drains *one lane*, and the record
+    keeps how far that lane had run — sibling lanes keep their own
+    clocks and are never touched.
+    """
 
     tenant: str
     reason: str
     budget_spent: float
     bytes_scrubbed: int
+    lane_cycles: float = 0.0
 
 
 @dataclass
@@ -343,11 +350,13 @@ class TenantSupervisor:
             return
         state.quarantined = True
         state.reason = reason
+        lane = self._server.lane_view(app_id)
+        lane_cycles = lane.clock if lane is not None else 0.0
         scrubbed = self._server.quarantine(app_id, reason=reason) \
             if self.policy.scrub_on_quarantine else self._unscrubbed(app_id)
         self.quarantines.append(QuarantineRecord(
             tenant=app_id, reason=reason, budget_spent=state.budget,
-            bytes_scrubbed=scrubbed,
+            bytes_scrubbed=scrubbed, lane_cycles=lane_cycles,
         ))
         self._record(app_id, "<quarantine>", "quarantine", "quarantined",
                      detail=reason)

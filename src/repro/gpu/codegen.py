@@ -346,6 +346,8 @@ class KernelCodegen:
             name = operand.name
             if name in self.ck.shared_layout:
                 return repr(self.ck.shared_layout[name])
+            if name not in self.ck.global_symbols:
+                raise ExecutionError(f"unresolved symbol {name!r}")
             return f"_gsyms[{name!r}]"
         raise ExecutionError(f"cannot generate operand {operand!r}")
 
@@ -357,6 +359,8 @@ class KernelCodegen:
             name = base.name
             if name in self.ck.shared_layout:
                 expr = repr(self.ck.shared_layout[name])
+            elif name not in self.ck.global_symbols:
+                raise ExecutionError(f"unresolved symbol {name!r}")
             else:
                 expr = f"_gsyms[{name!r}]"
         else:

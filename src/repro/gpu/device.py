@@ -123,6 +123,7 @@ class Device:
             compiled, grid, block, params,
             max_blocks=self.max_blocks_per_launch,
         )
+        stream.note_submit(release_cycles)
         self.metrics.kernels_launched += 1
         if self._keep_launch_results:
             self.metrics.launch_results.append(result)
@@ -183,6 +184,7 @@ class Device:
     def _copy_task(self, kind: str, stream: Stream, size: int,
                    bw_gbps: float, tag: str,
                    release_cycles: float = 0.0) -> GpuTask:
+        stream.note_submit(release_cycles)
         cycles = size * self.spec.clock_ghz / bw_gbps
         return GpuTask(
             kind=kind,

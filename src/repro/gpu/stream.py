@@ -27,6 +27,23 @@ class Stream:
     #: every subsequent ordering point (launch, synchronize) until the
     #: stream is destroyed. Set by fault injection or by the device.
     fault: str | None = None
+    #: Lifetime submission count (never reset by a sync) and the
+    #: device-clock release instant of the latest submission — the
+    #: lane-occupancy metrics read these to see how far each tenant's
+    #: stream ran without having to replay the timeline.
+    submitted: int = 0
+    last_release: float = 0.0
+
+    def note_submit(self, release_cycles: float) -> None:
+        """Record one submission and its host release instant.
+
+        Releases are monotone per stream (per-tenant in Guardian), so
+        ``last_release`` only ever moves forward even if the caller
+        hands in a stale instant.
+        """
+        self.submitted += 1
+        if release_cycles > self.last_release:
+            self.last_release = release_cycles
 
     @property
     def key(self) -> tuple[int, int]:

@@ -48,6 +48,12 @@ _DEC_FLOAT = re.compile(
 )
 _HEX_F32 = re.compile(r"^0[fF]([0-9a-fA-F]{8})$")
 _HEX_F64 = re.compile(r"^0[dD]([0-9a-fA-F]{16})$")
+# Operand tokens must be well-formed identifiers.  Anything else (e.g. a
+# bit-flipped byte turning "%rd3" into "(rd3") must fail here with a
+# PTXParseError rather than surviving as a Symbol and crashing codegen or
+# the JIT later — fault injection relies on parse-time rejection.
+_REGISTER_TOKEN = re.compile(r"^%[A-Za-z_$][\w$]*$")
+_SYMBOL_TOKEN = re.compile(r"^[A-Za-z_$.][\w$.]*$")
 
 
 def _strip_comments(text: str) -> str:
@@ -303,7 +309,10 @@ def _parse_instruction(text: str) -> Instruction:
     if not match:
         raise PTXParseError(f"bad instruction: {text!r}")
     opcode, rest = match.group(1), match.group(2).strip()
-    isa.opcode_info(opcode)  # raises KeyError on unknown mnemonics
+    try:
+        isa.opcode_info(opcode)
+    except KeyError as exc:
+        raise PTXParseError(f"unknown opcode in {text!r}: {exc}") from None
     operands = tuple(
         _parse_operand(chunk) for chunk in _split_operands(rest)
     )
@@ -332,9 +341,14 @@ def _parse_operand(text: str) -> Operand:
     if text.startswith("["):
         return _parse_memref(text)
     if text.startswith("{"):
+        if not text.endswith("}"):
+            raise PTXParseError(f"bad target list: {text!r}")
         labels = tuple(
             label.strip() for label in text[1:-1].split(",") if label.strip()
         )
+        for label in labels:
+            if not _SYMBOL_TOKEN.match(label):
+                raise PTXParseError(f"bad target label: {label!r}")
         return TargetList(labels)
     immediate = _try_parse_immediate(text)
     if immediate is not None:
@@ -342,7 +356,11 @@ def _parse_operand(text: str) -> Operand:
     if text.startswith("%"):
         if text in isa.SPECIAL_REGISTERS:
             return SpecialReg(text)
+        if not _REGISTER_TOKEN.match(text):
+            raise PTXParseError(f"bad register operand: {text!r}")
         return Register(text)
+    if not _SYMBOL_TOKEN.match(text):
+        raise PTXParseError(f"bad operand: {text!r}")
     return Symbol(text)
 
 
@@ -357,8 +375,12 @@ def _parse_memref(text: str) -> MemRef:
         offset = -offset
     base: Union[Register, Symbol]
     if base_text.startswith("%"):
+        if not _REGISTER_TOKEN.match(base_text):
+            raise PTXParseError(f"bad memory base register: {base_text!r}")
         base = Register(base_text)
     else:
+        if not _SYMBOL_TOKEN.match(base_text):
+            raise PTXParseError(f"bad memory base symbol: {base_text!r}")
         base = Symbol(base_text)
     return MemRef(base=base, offset=offset)
 

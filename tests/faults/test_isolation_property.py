@@ -17,6 +17,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import GuardianSystem
+from repro.core.server import ServerConfig
 from repro.driver.fatbin import build_fatbin
 from repro.errors import ClientCrashed, ReproError, TenantQuarantined
 from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
@@ -110,13 +111,14 @@ class _Script:
         self.step_no += 1
 
 
-def run_world(specs, schedule, seed, include_faulty):
+def run_world(specs, schedule, seed, include_faulty, config=None):
     """Run the interleaved workload; return survivor observables."""
     observed = []
     if include_faulty:
-        system = GuardianSystem(fault_plan=FaultPlan(specs, seed=seed))
+        system = GuardianSystem(fault_plan=FaultPlan(specs, seed=seed),
+                                config=config)
     else:
-        system = GuardianSystem()
+        system = GuardianSystem(config=config)
     scripts = {app_id: _Script(system, app_id, observed) for app_id in SURVIVORS}
     if include_faulty:
         scripts["faulty"] = _Script(system, "faulty", None)
@@ -144,4 +146,22 @@ def run_world(specs, schedule, seed, include_faulty):
 def test_survivors_unaffected_by_any_fault_interleaving(specs, schedule, seed):
     with_faults = run_world(specs, schedule, seed, include_faulty=True)
     without = run_world(specs, schedule, seed, include_faulty=False)
+    assert with_faults == without
+
+
+@given(
+    specs=st.lists(spec_strategy, min_size=1, max_size=3),
+    schedule=st.lists(st.integers(min_value=0, max_value=2), min_size=10, max_size=30),
+    seed=st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=20, deadline=None)
+def test_survivors_unaffected_with_concurrent_dispatch(specs, schedule, seed):
+    """The containment property holds with per-tenant dispatch lanes:
+    a quarantine drains *one lane*; sibling tenants' epochs, partitions
+    and data are bit-identical to a world without the faulty tenant."""
+    config = ServerConfig.concurrent()
+    with_faults = run_world(specs, schedule, seed, include_faulty=True,
+                            config=config)
+    without = run_world(specs, schedule, seed, include_faulty=False,
+                        config=config)
     assert with_faults == without

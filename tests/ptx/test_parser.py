@@ -206,8 +206,26 @@ class TestStructure:
             )
 
     def test_unknown_opcode_rejected(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(PTXParseError):
             parse_module(
                 ".version 7.5\n.target sm_86\n.address_size 64\n"
                 ".visible .entry k()\n{\nzorble.u32 %r1, 1;\nret;\n}\n"
+            )
+
+    def test_garbage_operand_rejected(self):
+        # A single corrupted byte ("%rd3" -> "(rd3") must fail at parse
+        # time, not survive as a Symbol and crash codegen or the JIT.
+        with pytest.raises(PTXParseError):
+            parse_module(
+                ".version 7.5\n.target sm_86\n.address_size 64\n"
+                ".visible .entry k()\n{\n.reg .u64 %rd<4>;\n"
+                "mov.u64 %rd1, (rd3;\nret;\n}\n"
+            )
+
+    def test_garbage_register_rejected(self):
+        with pytest.raises(PTXParseError):
+            parse_module(
+                ".version 7.5\n.target sm_86\n.address_size 64\n"
+                ".visible .entry k()\n{\n.reg .u64 %rd<4>;\n"
+                "mov.u64 %rd1, %rd(3;\nret;\n}\n"
             )
