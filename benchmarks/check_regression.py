@@ -16,7 +16,11 @@ Reads the ``BENCH_*.json`` files the benchmark run emitted into
   any drift from the paper's Table 5 numbers fails the job;
 - ``multitenant_scaling``: the concurrent-dispatch makespan speedup at
   8 independent tenants may not drop below the recorded floor — the
-  lanes must keep overlapping.
+  lanes must keep overlapping;
+- ``cluster_migration``: the chaos gauntlet's survival floor — zero
+  disruptions of tenants on surviving nodes, and at least the
+  baseline's number of completed live migrations across the seed
+  sweep.
 
 A measurement missing from ``BENCH_DIR`` falls back to the committed
 ``benchmarks/trajectory/`` snapshot (the last numbers a maintainer
@@ -112,12 +116,36 @@ def check_multitenant(bench_dir: Path, baseline: dict) -> int:
     return 0
 
 
+def check_cluster(bench_dir: Path, baseline: dict) -> int:
+    measured = load_bench(bench_dir, "cluster_migration")
+    if measured is None:
+        return fail("BENCH_cluster_migration.json was not emitted and "
+                    "no trajectory snapshot exists")
+    disruptions = measured["surviving_tenant_disruptions"]
+    completed = measured["migrations_completed"]
+    floor = baseline["min_migrations_completed"]
+    print(f"cluster_migration: {completed} live migrations across "
+          f"seeds {measured['seeds']}, {disruptions} surviving-tenant "
+          f"disruption(s)")
+    if disruptions != 0:
+        return fail(
+            f"{disruptions} surviving-tenant disruption(s) — node loss "
+            f"must never touch tenants on healthy nodes"
+        )
+    if completed < floor:
+        return fail(
+            f"only {completed} completed migration(s), floor is {floor}"
+        )
+    return 0
+
+
 def main(argv: list[str]) -> int:
     bench_dir = Path(argv[1]) if len(argv) > 1 else Path(".")
     baseline = json.loads(BASELINE.read_text())
     status = check_hotpath(bench_dir, baseline["hotpath_caching"])
     status |= check_table5(bench_dir, baseline["table5_interception"])
     status |= check_multitenant(bench_dir, baseline["multitenant_scaling"])
+    status |= check_cluster(bench_dir, baseline["cluster_migration"])
     if not status:
         print("benchmark smoke: no regressions")
     return status

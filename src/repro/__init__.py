@@ -25,6 +25,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.cluster import (
+    ClusterConfig,
+    GuardianCluster,
+    HealthPolicy,
+    NodeHealth,
+    PlacementPolicy,
+)
 from repro.core.client import GuardianClient, preload_guardian
 from repro.core.policy import FencingMode
 from repro.core.server import GuardianServer, ServerConfig
@@ -43,6 +50,7 @@ from repro.runtime.interpose import DynamicLoader
 __version__ = "1.0.0"
 
 __all__ = [
+    "ClusterConfig",
     "CudaRuntime",
     "Device",
     "DeviceSpec",
@@ -50,9 +58,13 @@ __all__ = [
     "FencingMode",
     "GEFORCE_RTX_3080TI",
     "GuardianClient",
+    "GuardianCluster",
     "GuardianServer",
     "GuardianSystem",
     "GuardianTenant",
+    "HealthPolicy",
+    "NodeHealth",
+    "PlacementPolicy",
     "QUADRO_RTX_A4000",
     "ServerConfig",
     "SupervisorPolicy",

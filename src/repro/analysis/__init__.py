@@ -10,6 +10,7 @@ from repro.analysis.metrics import (
     FaultMetrics,
     KernelProfile,
     Profiler,
+    collect_cluster_faults,
     collect_faults,
 )
 from repro.analysis.reporting import render_failure_report, render_table
@@ -18,6 +19,7 @@ __all__ = [
     "FaultMetrics",
     "KernelProfile",
     "Profiler",
+    "collect_cluster_faults",
     "collect_faults",
     "render_failure_report",
     "render_table",

@@ -231,6 +231,14 @@ class FaultMetrics:
     fault_cycles: float = 0.0
     #: tenant -> remaining state (budget spent, quarantined?).
     tenants: dict = field(default_factory=dict)
+    #: node -> {"records", "by_action", "failure_domain_score",
+    #: "health"} — populated per failure-record ``node`` stamp; the
+    #: score/health fields are filled by :func:`collect_cluster_faults`
+    #: (a bare supervisor has no health monitor).
+    by_node: dict = field(default_factory=dict)
+    migrations_completed: int = 0
+    migrations_failed: int = 0
+    evictions: int = 0
 
     @property
     def retry_success_rate(self) -> float:
@@ -239,10 +247,16 @@ class FaultMetrics:
         return self.retries / total if total else 0.0
 
 
-def collect_faults(supervisor) -> FaultMetrics:
+def collect_faults(supervisor, into: FaultMetrics | None = None) -> FaultMetrics:
     """Snapshot failure records from a
-    :class:`repro.core.supervisor.TenantSupervisor`."""
-    metrics = FaultMetrics()
+    :class:`repro.core.supervisor.TenantSupervisor`.
+
+    Pass ``into`` to merge several supervisors into one view (the
+    cluster collector does); records are grouped per the ``node``
+    stamp each record carries (``"<local>"`` when unset — a
+    single-node supervisor outside any cluster).
+    """
+    metrics = into if into is not None else FaultMetrics()
     for record in supervisor.records:
         metrics.records += 1
         metrics.by_kind[record.kind] = (
@@ -250,6 +264,17 @@ def collect_faults(supervisor) -> FaultMetrics:
         )
         metrics.by_action[record.action] = (
             metrics.by_action.get(record.action, 0) + 1
+        )
+        node_key = record.node or "<local>"
+        node_bucket = metrics.by_node.setdefault(node_key, {
+            "records": 0,
+            "by_action": {},
+            "failure_domain_score": None,
+            "health": None,
+        })
+        node_bucket["records"] += 1
+        node_bucket["by_action"][record.action] = (
+            node_bucket["by_action"].get(record.action, 0) + 1
         )
         metrics.fault_cycles += record.cycles
         if record.action == "retried":
@@ -266,6 +291,31 @@ def collect_faults(supervisor) -> FaultMetrics:
             "quarantined": state.quarantined,
             "reason": state.reason,
         }
+    return metrics
+
+
+def collect_cluster_faults(cluster) -> FaultMetrics:
+    """Fleet-wide failure view of a
+    :class:`repro.cluster.GuardianCluster`: every node's supervisor
+    records merged, each node's bucket annotated with its health state
+    and failure-domain score, plus the control plane's own outcomes
+    (migrations, evictions)."""
+    metrics = FaultMetrics()
+    for node in cluster.nodes:
+        collect_faults(node.supervisor, into=metrics)
+        node_bucket = metrics.by_node.setdefault(node.node_id, {
+            "records": 0,
+            "by_action": {},
+            "failure_domain_score": None,
+            "health": None,
+        })
+        node_bucket["failure_domain_score"] = (
+            node.monitor.failure_domain_score()
+        )
+        node_bucket["health"] = node.monitor.state.value
+    metrics.migrations_completed = cluster.migrations_completed
+    metrics.migrations_failed = cluster.migrations_failed
+    metrics.evictions = len(cluster.evictions)
     return metrics
 
 

@@ -179,6 +179,27 @@ def render_failure_report(metrics, title: str = "Tenant failures") -> str:
     lines = [
         render_table(["fault kind", "events"], kind_rows, title=title),
         render_table(["supervisor action", "events"], action_rows),
+    ]
+    if metrics.by_node:
+        node_rows = []
+        for node_id, bucket in sorted(metrics.by_node.items()):
+            score = bucket["failure_domain_score"]
+            actions = ", ".join(
+                f"{action}={count}"
+                for action, count in sorted(bucket["by_action"].items())
+            ) or "-"
+            node_rows.append((
+                node_id,
+                bucket["records"],
+                "-" if score is None else f"{score:.2f}",
+                bucket["health"] or "-",
+                actions,
+            ))
+        lines.append(render_table(
+            ["node", "records", "fd score", "health", "actions"],
+            node_rows, title="Failure domains",
+        ))
+    lines += [
         f"retries: {metrics.retries} recovered "
         f"({metrics.retry_attempts} resend attempts, "
         f"success rate {percent(metrics.retry_success_rate)})",
@@ -187,6 +208,13 @@ def render_failure_report(metrics, title: str = "Tenant failures") -> str:
         f"({metrics.bytes_scrubbed:,} bytes scrubbed)",
         f"fault-handling cycles: {metrics.fault_cycles:,.0f}",
     ]
+    if metrics.migrations_completed or metrics.migrations_failed \
+            or metrics.evictions:
+        lines.append(
+            f"migrations: {metrics.migrations_completed} completed, "
+            f"{metrics.migrations_failed} failed; "
+            f"evictions: {metrics.evictions}"
+        )
     for app_id, status in sorted(metrics.tenants.items()):
         if status["quarantined"]:
             lines.append(

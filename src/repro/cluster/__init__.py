@@ -1,0 +1,35 @@
+"""Guardian's fleet control plane: node health, placement, migration."""
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.cluster import (
+    ClusterConfig,
+    ClusterTenant,
+    EvictionRecord,
+    GuardianCluster,
+    GuardianNode,
+    MigrationRecord,
+)
+from repro.cluster.health import (
+    ACTION_WEIGHTS,
+    HealthPolicy,
+    HealthTransition,
+    NodeHealth,
+    NodeHealthMonitor,
+)
+from repro.cluster.placement import PlacementPolicy
+
+__all__ = [
+    "ACTION_WEIGHTS",
+    "ClusterClient",
+    "ClusterConfig",
+    "ClusterTenant",
+    "EvictionRecord",
+    "GuardianCluster",
+    "GuardianNode",
+    "HealthPolicy",
+    "HealthTransition",
+    "MigrationRecord",
+    "NodeHealth",
+    "NodeHealthMonitor",
+    "PlacementPolicy",
+]

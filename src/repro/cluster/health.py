@@ -1,0 +1,189 @@
+"""Per-node health: heartbeats, a state machine, failure-domain score.
+
+Each :class:`~repro.cluster.cluster.GuardianNode` carries one
+:class:`NodeHealthMonitor`. Every cluster ``tick()`` delivers one
+heartbeat *beat* to each monitor (answered or missed — a fault plan's
+``HEARTBEAT_LOSS`` makes a node miss its deadline) and feeds it the
+supervisor ``FailureRecord``s the node produced since the last beat.
+From those two streams the monitor maintains
+
+- a **health state machine** ``healthy → degraded → suspect → down``:
+  misses walk the ladder (one missed deadline makes a node *suspect* —
+  it may just be slow; ``down_after_missed`` consecutive misses
+  declare it dead), while accumulated failure weight degrades it.
+  ``down`` is terminal — a node that lost its memory cannot come back
+  as the same node;
+- a **failure-domain score** — an exponentially decayed sum of
+  weighted failure events, the *Characterization-Guided GPU Fault
+  Resilience* idea: chronic failure history is a property of the
+  node (its board, its thermal envelope, its neighbours), so
+  placement should steer load away from it long before it actually
+  dies. The decay means a node that stops misbehaving earns its way
+  back.
+
+The monitor is pure bookkeeping: it never touches servers or tenants.
+The cluster reads its state and score and *reacts* (placement
+penalties, shedding, evacuation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class NodeHealth(enum.Enum):
+    """The per-node health ladder."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    SUSPECT = "suspect"
+    DOWN = "down"
+
+
+#: Failure-domain weight of one supervisor record, by action. Roughly:
+#: containment events weigh like their budget cost; recoveries barely
+#: register but still leave a trace (a node where retries keep
+#: happening is a node with a flaky queue).
+ACTION_WEIGHTS: dict[str, float] = {
+    "quarantined": 3.0,
+    "reaped": 2.0,
+    "exhausted": 2.0,
+    "fenced": 1.0,
+    "armed": 1.0,
+    "deadline": 0.5,
+    "rejected": 0.25,
+    "retried": 0.25,
+    "delayed": 0.25,
+    "suppressed": 0.1,
+    "migrated": 0.0,  # the move itself is not the node's failure
+}
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Thresholds of the node health state machine."""
+
+    #: Consecutive missed heartbeats before the node is *suspect*.
+    suspect_after_missed: int = 1
+    #: Consecutive missed heartbeats before the node is *down*.
+    down_after_missed: int = 3
+    #: Failure score at which an answering node is *degraded*.
+    degrade_score: float = 2.0
+    #: Failure score at which even an answering node is *suspect*.
+    suspect_score: float = 8.0
+    #: Score below which a degraded/suspect node recovers to healthy.
+    recover_score: float = 1.0
+    #: Multiplicative score decay applied once per beat.
+    score_decay: float = 0.9
+
+
+@dataclass
+class HealthTransition:
+    """One state-machine edge, kept for the failure report."""
+
+    beat: int
+    previous: NodeHealth
+    current: NodeHealth
+    reason: str
+
+
+class NodeHealthMonitor:
+    """Tracks one node's heartbeat stream and failure history."""
+
+    def __init__(self, node_id: str, policy: HealthPolicy | None = None):
+        self.node_id = node_id
+        self.policy = policy or HealthPolicy()
+        self.state = NodeHealth.HEALTHY
+        self.score = 0.0
+        self.beats = 0
+        self.missed_consecutive = 0
+        self.missed_total = 0
+        self.transitions: list[HealthTransition] = []
+        self._events: int = 0
+
+    # -- inputs ---------------------------------------------------------------
+
+    def beat(self, answered: bool) -> NodeHealth:
+        """Deliver one heartbeat deadline; returns the (new) state."""
+        self.beats += 1
+        self.score *= self.policy.score_decay
+        if answered:
+            self.missed_consecutive = 0
+        else:
+            self.missed_consecutive += 1
+            self.missed_total += 1
+        self._step(
+            "heartbeat answered" if answered
+            else f"missed {self.missed_consecutive} deadline(s)"
+        )
+        return self.state
+
+    def note_failure(self, action: str, weight: float | None = None) -> None:
+        """Charge one supervisor failure event against the node."""
+        if weight is None:
+            weight = ACTION_WEIGHTS.get(action, 0.5)
+        self.score += weight
+        self._events += 1
+        self._step(f"failure event {action!r}")
+
+    def force_down(self, reason: str) -> None:
+        """Declare the node dead out-of-band (node crash injection)."""
+        self._transition(NodeHealth.DOWN, reason)
+
+    # -- the state machine -----------------------------------------------------
+
+    def _step(self, reason: str) -> None:
+        if self.state is NodeHealth.DOWN:
+            return  # terminal
+        policy = self.policy
+        if self.missed_consecutive >= policy.down_after_missed:
+            target = NodeHealth.DOWN
+        elif (
+            self.missed_consecutive >= policy.suspect_after_missed
+            or self.score >= policy.suspect_score
+        ):
+            target = NodeHealth.SUSPECT
+        elif self.score >= policy.degrade_score:
+            target = NodeHealth.DEGRADED
+        elif self.score <= policy.recover_score:
+            target = NodeHealth.HEALTHY
+        elif self.state is NodeHealth.SUSPECT:
+            # Answering again, score in the hysteresis band: demote
+            # one rung — full recovery waits for the score to decay.
+            target = NodeHealth.DEGRADED
+        else:
+            target = self.state  # hysteresis: hold between thresholds
+        self._transition(target, reason)
+
+    def _transition(self, target: NodeHealth, reason: str) -> None:
+        if target is self.state:
+            return
+        self.transitions.append(HealthTransition(
+            beat=self.beats, previous=self.state, current=target,
+            reason=reason,
+        ))
+        self.state = target
+
+    # -- outputs ---------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self.state is not NodeHealth.DOWN
+
+    @property
+    def placeable(self) -> bool:
+        """May the placement scheduler put *new* load here?"""
+        return self.state in (NodeHealth.HEALTHY, NodeHealth.DEGRADED)
+
+    def failure_domain_score(self) -> float:
+        """The score placement penalizes by: the decayed failure sum,
+        plus a surcharge while the node is actively degraded (its
+        recent history is still playing out)."""
+        surcharge = {
+            NodeHealth.HEALTHY: 0.0,
+            NodeHealth.DEGRADED: 1.0,
+            NodeHealth.SUSPECT: 4.0,
+            NodeHealth.DOWN: float("inf"),
+        }[self.state]
+        return self.score + surcharge

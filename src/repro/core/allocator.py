@@ -180,6 +180,30 @@ class GuardianAllocator:
             scrubber(partition.base, partition.size)
         self._insert_gap(_Gap(partition.base, partition.size))
 
+    def can_carve(self, max_bytes: int) -> bool:
+        """True when a partition for ``max_bytes`` could be created now.
+
+        A non-mutating twin of :meth:`create_partition`'s carving step;
+        the cluster's placement scheduler uses it to test capacity fit
+        without touching the gap list.
+        """
+        if max_bytes <= 0:
+            return False
+        size = (
+            masks.next_power_of_two(max_bytes)
+            if self.require_power_of_two
+            else max_bytes
+        )
+        if self.require_power_of_two:
+            align = size
+        else:
+            align = masks.next_power_of_two(min(size, 1 << 20))
+        for gap in self._gaps:
+            aligned = -(-gap.start // align) * align
+            if gap.size - (aligned - gap.start) >= size:
+                return True
+        return False
+
     def partition(self, app_id: str) -> Partition:
         try:
             return self._partitions[app_id]

@@ -48,6 +48,7 @@ class GuardianClient(GpuBackend):
         batching: Optional[bool] = None,
         max_batch: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
+        attach: bool = True,
     ):
         self.app_id = app_id
         # Client-side fault injection: the only fault that fires here
@@ -68,8 +69,11 @@ class GuardianClient(GpuBackend):
         self._spec = None
         self._export_tables = None
         # Attach declares the tenant's maximum memory requirement —
-        # Guardian's static-partitioning contract (§4.2.1).
-        self._call("attach", max_bytes)
+        # Guardian's static-partitioning contract (§4.2.1). A rebind
+        # after live migration skips it: the target server already
+        # adopted the tenant via restore_tenant.
+        if attach:
+            self._call("attach", max_bytes)
 
     # -- plumbing -----------------------------------------------------------------
 

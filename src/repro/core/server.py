@@ -54,6 +54,7 @@ from repro.errors import (
     ExecutionError,
     GuardianError,
     LaunchError,
+    MigrationError,
     StreamFault,
 )
 from repro.core.allocator import GuardianAllocator
@@ -67,6 +68,7 @@ from repro.core.patcher import (
 from repro.core.policy import FencingMode, lane_scheduling_policy
 from repro.driver.api import DriverAPI
 from repro.driver.fatbin import FatBinary, cuobjdump
+from repro.gpu.allocator import FirstFitAllocator
 from repro.gpu.device import Device
 from repro.gpu.stream import Stream
 from repro.runtime.backend import CPU_GHZ, DriverCostModel
@@ -209,10 +211,74 @@ class ServerStats:
     tenants_quarantined: int = 0
     bytes_scrubbed: int = 0
     stream_faults_surfaced: int = 0
+    # Migration counters (only move on the cluster's migrate path).
+    tenants_migrated_in: int = 0
+    tenants_migrated_out: int = 0
     # Concurrent-dispatch counters (zero unless the knobs are on).
     checks_coalesced: int = 0
     patch_inflight_joins: int = 0
     lanes_retired: int = 0
+
+
+@dataclass(frozen=True)
+class _ModuleImage:
+    """Everything needed to replay one module load on another node.
+
+    ``handles`` are the client handles this load handed out (reused
+    verbatim on restore so the client's handles stay valid);
+    ``global_offsets`` pin each ``.global`` symbol's placement
+    *relative to the partition base*, so the restore can re-load the
+    module with its statics exactly where the migrated partition bytes
+    already put their contents.
+    """
+
+    ptx_text: str
+    patched_text: str
+    reports: tuple
+    #: kernel name -> client handle.
+    handles: tuple[tuple[str, int], ...]
+    #: global symbol name -> offset from the partition base.
+    global_offsets: tuple[tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class TenantSnapshot:
+    """A quiesced tenant, ready to be replayed onto another server.
+
+    Produced by :meth:`GuardianServer.snapshot_tenant` after draining
+    the tenant's stream; consumed by
+    :meth:`GuardianServer.restore_tenant`. All addresses inside are
+    partition-relative (heap state, global offsets) except
+    ``source_base``, kept so the cluster client can translate the
+    tenant's still-held absolute pointers.
+    """
+
+    app_id: str
+    size: int
+    source_base: int
+    #: Bounds-table epoch at snapshot time (the fast-launch memo's
+    #: validity token on the source; informational after restore — the
+    #: target re-publishes its own record at a fresh epoch).
+    bounds_epoch: int
+    #: The partition's bytes, in full.
+    data: bytes
+    heap_free: tuple[tuple[int, int], ...]
+    heap_live: tuple[tuple[int, int], ...]
+    modules: tuple[_ModuleImage, ...]
+    next_handle: int
+    #: Launch fast-path memo state (epoch it was memoised at, or None).
+    #: Recorded for completeness; restore starts the memo cold because
+    #: the target node's epoch counter is unrelated to the source's.
+    fast_launch_epoch: Optional[int]
+    fencing_mode: str
+    incarnation: int
+    #: The tenant's modelled L2 residency (partition-relative line
+    #: addresses, MRU-first per set). The restore installs them at the
+    #: new base — the migration copy lands through L2, like a real
+    #: PCIe DMA — so post-migration kernel timing is bit-identical to
+    #: a never-migrated run instead of paying a spurious cold-cache
+    #: penalty the tenant's own history doesn't justify.
+    l2_lines: tuple[int, ...] = ()
 
 
 @dataclass
@@ -228,6 +294,12 @@ class _Tenant:
     #: Launch fast path memo: (bounds-table epoch, fencing values).
     #: Stale whenever the epoch no longer matches the table's.
     fast_launch: Optional[tuple[int, list]] = None
+    #: Replayable module loads, in load order (migration feedstock).
+    modules: list[_ModuleImage] = field(default_factory=list)
+    #: Monotone per-app_id attach generation; a quarantine request
+    #: carrying a stale incarnation is a no-op (the tenant it targeted
+    #: is already gone and a new instance took the name).
+    incarnation: int = 0
 
 
 @dataclass
@@ -320,8 +392,15 @@ class GuardianServer:
             if self._concurrent else None
         )
         self._tenants: dict[str, _Tenant] = {}
+        #: app_id -> attach generation (see _Tenant.incarnation).
+        self._incarnations: dict[str, int] = {}
 
     # -- tenant lifecycle (not IPC-charged: happens once at attach) -----------
+
+    def _next_incarnation(self, app_id: str) -> int:
+        generation = self._incarnations.get(app_id, 0) + 1
+        self._incarnations[app_id] = generation
+        return generation
 
     def attach(self, app_id: str, max_bytes: int):
         """Register a tenant: carve its partition, create its stream."""
@@ -331,6 +410,7 @@ class GuardianServer:
         tenant = _Tenant(
             app_id=app_id,
             stream=self.driver.cuStreamCreate(self.context),
+            incarnation=self._next_incarnation(app_id),
         )
         self._tenants[app_id] = tenant
         if self._concurrent:
@@ -359,6 +439,7 @@ class GuardianServer:
             self.stats.streams_destroyed += 1
             tenant.functions.clear()
             tenant.patch_reports.clear()
+            tenant.modules.clear()
             tenant.fast_launch = None
         self.allocator.release_partition(app_id)
         self._retire_lane(app_id)
@@ -706,6 +787,19 @@ class GuardianServer:
                 self.driver.cuModuleGetFunction(native, name),
             )
             handles[name] = handle
+        # Record the load so live migration can replay it on another
+        # node: same handles, same patched text, globals pinned at the
+        # same partition-relative offsets.
+        tenant.modules.append(_ModuleImage(
+            ptx_text=ptx_text,
+            patched_text=patched_text,
+            reports=tuple(reports),
+            handles=tuple(handles.items()),
+            global_offsets=tuple(
+                (name, address - partition.base)
+                for name, address in sandboxed.global_addresses.items()
+            ),
+        ))
         return handles
 
     # -- kernel launch (§4.2.3) -------------------------------------------------------
@@ -828,7 +922,8 @@ class GuardianServer:
 
     # -- quarantine (containment mechanics; policy lives in the supervisor) ----
 
-    def quarantine(self, app_id: str, reason: str = "") -> int:
+    def quarantine(self, app_id: str, reason: str = "",
+                   incarnation: Optional[int] = None) -> int:
         """Forcibly evict a tenant, leaving nothing reusable behind.
 
         The containment sequence the TenantSupervisor escalates to:
@@ -848,14 +943,34 @@ class GuardianServer:
         victim's lane is retired (its clock still counts toward the
         makespan — the work happened) while sibling lanes, their
         clocks and their check-run memos are never touched. Returns the
-        number of bytes scrubbed. Idempotent for unknown/already-
-        evicted tenants.
+        number of bytes scrubbed.
+
+        **Idempotent**: a second quarantine of the same tenant — e.g.
+        a supervisor escalation racing a cluster-initiated drain — is
+        a no-op (returns 0, no counters move, nothing is re-scrubbed).
+        Callers holding a decision made against an earlier view of the
+        tenant pass the ``incarnation`` they observed: if the name has
+        since been re-attached by a new instance, the stale request is
+        ignored rather than evicting the innocent newcomer.
         """
-        if app_id not in self._tenants:
+        tenant = self._tenants.get(app_id)
+        if tenant is None:
             return 0
+        if incarnation is not None and tenant.incarnation != incarnation:
+            return 0
+        scrubbed = self._teardown_tenant(app_id, scrub=True)
+        self.stats.tenants_quarantined += 1
+        self.stats.bytes_scrubbed += scrubbed
+        return scrubbed
+
+    def _teardown_tenant(self, app_id: str, scrub: bool) -> int:
+        """Shared eviction mechanics of quarantine and evacuate: drain
+        and destroy the stream, drop handles/memos, release (and
+        optionally scrub) the partition, retire the lane. Returns the
+        bytes scrubbed (0 when ``scrub`` is off)."""
         scrubbed = 0
 
-        def scrub(base: int, size: int) -> None:
+        def scrubber(base: int, size: int) -> None:
             nonlocal scrubbed
             self.device.memory.fill(base, size, 0)
             scrubbed = size
@@ -868,10 +983,154 @@ class GuardianServer:
         self.stats.streams_destroyed += 1
         tenant.functions.clear()
         tenant.patch_reports.clear()
+        tenant.modules.clear()
         tenant.fast_launch = None
-        self.allocator.release_partition(app_id, scrubber=scrub)
+        self.allocator.release_partition(
+            app_id, scrubber=scrubber if scrub else None
+        )
         self._retire_lane(app_id)
-        self.stats.tenants_quarantined += 1
+        return scrubbed
+
+    # -- live migration endpoints (cluster control plane, DESIGN.md §10) -------
+
+    def snapshot_tenant(self, app_id: str) -> TenantSnapshot:
+        """Quiesce a tenant and capture everything a peer server needs
+        to adopt it: drain the stream (in-order-per-application means a
+        drained stream is a consistent cut), then copy the partition
+        bytes, the heap's free/live lists (partition-relative), the
+        bounds epoch, the module images and the fast-launch memo state.
+
+        The tenant stays attached — snapshotting is read-only — so an
+        aborted migration needs no rollback. A wedged stream refuses to
+        quiesce: the sticky fault is surfaced instead, and the caller's
+        escalation path (quarantine) takes over.
+        """
+        tenant = self._tenant(app_id)
+        self._raise_if_wedged(tenant)
+        self.stats.sync_drained_tasks += self.driver.cuStreamSynchronize(
+            tenant.stream
+        )
+        partition = self.allocator.partition(app_id)
+        heap_free, heap_live = partition.heap.export_state()
+        return TenantSnapshot(
+            app_id=app_id,
+            size=partition.size,
+            source_base=partition.base,
+            bounds_epoch=self.allocator.bounds.epoch(app_id),
+            data=self.device.memory.read(partition.base, partition.size),
+            heap_free=tuple(heap_free),
+            heap_live=tuple(heap_live),
+            modules=tuple(tenant.modules),
+            next_handle=max(tenant.functions, default=0x4000 - 1) + 1,
+            fast_launch_epoch=(
+                tenant.fast_launch[0]
+                if tenant.fast_launch is not None else None
+            ),
+            fencing_mode=self.mode.value,
+            incarnation=tenant.incarnation,
+            l2_lines=tuple(
+                address - partition.base
+                for address in self.device.hierarchy.l2.export_lines(
+                    partition.base, partition.base + partition.size
+                )
+            ),
+        )
+
+    def restore_tenant(self, snapshot: TenantSnapshot) -> int:
+        """Adopt a snapshotted tenant: carve a partition, write the
+        bytes, replant the heap, replay every module load with its
+        globals pinned at the recorded partition-relative offsets, and
+        re-issue the same client handles. Publishing the new bounds
+        record happens inside ``create_partition`` — at the new base,
+        under a fresh epoch — so the first post-migration launch
+        rebuilds its fencing parameters from the new record (the
+        fast-launch memo starts cold by construction). Returns the new
+        partition base.
+        """
+        if snapshot.app_id in self._tenants:
+            raise MigrationError(
+                f"cannot restore {snapshot.app_id!r}: already attached"
+            )
+        if snapshot.fencing_mode != self.mode.value:
+            raise MigrationError(
+                f"cannot restore {snapshot.app_id!r}: snapshot fenced "
+                f"for {snapshot.fencing_mode!r}, this server runs "
+                f"{self.mode.value!r}"
+            )
+        if len(snapshot.data) != snapshot.size:
+            raise MigrationError(
+                f"cannot restore {snapshot.app_id!r}: snapshot carries "
+                f"{len(snapshot.data)} of {snapshot.size} bytes"
+            )
+        partition = self.allocator.create_partition(
+            snapshot.app_id, snapshot.size
+        )
+        self.device.memory.write(partition.base, snapshot.data)
+        partition.heap = FirstFitAllocator.from_state(
+            partition.base, partition.size,
+            list(snapshot.heap_free), list(snapshot.heap_live),
+        )
+        self.device.hierarchy.l2.install_lines(tuple(
+            partition.base + offset for offset in snapshot.l2_lines
+        ))
+        tenant = _Tenant(
+            app_id=snapshot.app_id,
+            stream=self.driver.cuStreamCreate(self.context),
+            incarnation=self._next_incarnation(snapshot.app_id),
+        )
+        tenant.handle_counter = itertools.count(snapshot.next_handle)
+        for image in snapshot.modules:
+            self._restore_module(tenant, partition, image)
+        self._tenants[snapshot.app_id] = tenant
+        if self._concurrent:
+            self._lanes[snapshot.app_id] = _Lane(
+                app_id=snapshot.app_id, clock=self._critical_clock
+            )
+            self._active_lane = self._lanes[snapshot.app_id]
+        self.stats.tenants_migrated_in += 1
+        return partition.base
+
+    def _restore_module(self, tenant: _Tenant, partition,
+                        image: _ModuleImage) -> None:
+        """Replay one recorded module load with pinned global placement.
+
+        No re-patching: the image carries the already-patched text
+        (same text, same mode — the restore precondition), and the
+        globals' *contents* arrived with the partition bytes, so the
+        loader only needs to agree on their addresses.
+        """
+        pinned = {
+            name: partition.base + offset
+            for name, offset in image.global_offsets
+        }
+        tenant.patch_reports.extend(image.reports)
+        sandboxed = self.driver.cuModuleLoadData(
+            self.context, image.patched_text,
+            allocate_global=lambda name, size: pinned[name],
+        )
+        native = self.driver.cuModuleLoadData(
+            self.context, image.ptx_text,
+            allocate_global=lambda name, size: pinned[name],
+        )
+        self.stats.modules_loaded += 2
+        for name, handle in image.handles:
+            tenant.functions[handle] = (
+                self.driver.cuModuleGetFunction(sandboxed, name),
+                self.driver.cuModuleGetFunction(native, name),
+            )
+        tenant.modules.append(image)
+
+    def evacuate(self, app_id: str, scrub: bool = True) -> int:
+        """Source-side epilogue of a completed migration: the tenant
+        now lives elsewhere, so tear down its local remains — same
+        mechanics as quarantine (the partition is scrubbed before the
+        region frees; the bytes moved with the tenant) but counted as a
+        migration out, not an eviction. Idempotent like quarantine.
+        Returns the bytes scrubbed."""
+        if app_id not in self._tenants:
+            return 0
+        scrubbed = self._teardown_tenant(app_id, scrub=scrub)
+        self.stats.tenants_migrated_out += 1
         self.stats.bytes_scrubbed += scrubbed
         return scrubbed
 

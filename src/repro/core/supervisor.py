@@ -33,8 +33,9 @@ server (pinned by the gauntlet's no-plan test).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.server import GuardianServer
 from repro.driver.fatbin import FatBinary
@@ -60,6 +61,14 @@ class SupervisorPolicy:
     max_retries: int = 3
     #: Backoff charged per resend attempt: base * 2**attempt cycles.
     backoff_base_cycles: int = 4_000
+    #: Fractional jitter applied to each backoff step (0.0 = off, the
+    #: stock exact-exponential behaviour). With jitter ``j`` each step
+    #: is scaled by a factor drawn uniformly from [1-j/2, 1+j/2] — the
+    #: standard defence against synchronized retry storms when many
+    #: lanes hit the same transient fault. The draws come from an RNG
+    #: seeded off the installed fault plan, so gauntlet runs stay
+    #: reproducible.
+    backoff_jitter: float = 0.0
     #: Cycles detecting and dropping a duplicated message.
     duplicate_detect_cycles: int = 700
     #: Per-call deadline on the server's charged cycles.
@@ -79,6 +88,15 @@ class SupervisorPolicy:
     #: A fresh ``attach`` after quarantine re-admits the tenant with a
     #: zeroed budget (a new tenant instance, operator-sanctioned).
     readmit_after_quarantine: bool = True
+    #: The migration rung below eviction (None = off, the stock
+    #: two-rung ladder). When a tenant's spent budget crosses
+    #: ``migrate_budget_fraction * fault_budget`` and a
+    #: ``migration_hook`` is installed (the cluster control plane
+    #: installs one per node), the supervisor asks the hook to move
+    #: the tenant to a healthier node instead of waiting for the
+    #: budget to exhaust into quarantine. The hook runs *after* the
+    #: in-flight call completes — never mid-dispatch.
+    migrate_budget_fraction: Optional[float] = None
 
 
 @dataclass
@@ -90,9 +108,13 @@ class FailureRecord:
     kind: str
     action: str  # retried | exhausted | suppressed | delayed | rejected
     #          # | fenced | armed | deadline | quarantined | reaped
+    #          # | migrated
     attempts: int = 0
     cycles: float = 0.0
     detail: str = ""
+    #: The node whose supervisor recorded this (cluster deployments
+    #: stamp their node id; single-node supervisors leave it empty).
+    node: str = ""
 
 
 @dataclass
@@ -118,6 +140,9 @@ class _TenantState:
     quarantined: bool = False
     reason: str = ""
     deadline_violations: int = 0
+    #: Set by the budget ladder when the migration rung is crossed;
+    #: consumed (and the hook invoked) after the in-flight call ends.
+    migration_pending: bool = False
 
 
 #: The server handlers the supervisor wraps; everything else resolved
@@ -136,13 +161,27 @@ class TenantSupervisor:
 
     def __init__(self, server: GuardianServer,
                  plan: Optional[FaultPlan] = None,
-                 policy: Optional[SupervisorPolicy] = None):
+                 policy: Optional[SupervisorPolicy] = None,
+                 node: str = ""):
         self._server = server
         self.plan = plan
         self.policy = policy or SupervisorPolicy()
+        self.node = node
+        #: Installed by the cluster control plane: ``hook(app_id,
+        #: reason) -> bool`` (True = the tenant moved and this
+        #: supervisor no longer owns it). Must not raise; failure
+        #: handling is the hook's own business.
+        self.migration_hook: Optional[Callable[[str, str], bool]] = None
         self._states: dict[str, _TenantState] = {}
         self.records: list[FailureRecord] = []
         self.quarantines: list[QuarantineRecord] = []
+        self._jitter_rng = self._seed_jitter(plan)
+
+    @staticmethod
+    def _seed_jitter(plan: Optional[FaultPlan]) -> random.Random:
+        # Derived from the plan's seed (not its live RNG) so jitter
+        # draws never perturb the plan's own parameter stream.
+        return random.Random(0x9E3779B9 ^ (plan.seed if plan else 0))
 
     @property
     def server(self) -> GuardianServer:
@@ -150,6 +189,7 @@ class TenantSupervisor:
 
     def install_plan(self, plan: Optional[FaultPlan]) -> None:
         self.plan = plan
+        self._jitter_rng = self._seed_jitter(plan)
 
     def __getattr__(self, name: str):
         if name in _HANDLERS:
@@ -167,6 +207,29 @@ class TenantSupervisor:
         state = self._states.get(app_id)
         return state is not None and state.quarantined
 
+    def forget(self, app_id: str) -> None:
+        """Drop a tenant's supervision state without quarantining it.
+
+        The cluster calls this on the *source* supervisor once a
+        migration lands: the tenant's fault history travelled into the
+        node's failure-domain score (where it keeps steering
+        placement), but the tenant itself starts its new residency
+        with a clean budget — and a later re-attach here must not
+        inherit the departed instance's ledger.
+        """
+        self._states.pop(app_id, None)
+
+    def quarantine_tenant(self, app_id: str, reason: str) -> None:
+        """Operator/cluster-initiated quarantine (not budget-driven).
+
+        The cluster's last rung when a tenant on a dying node cannot
+        be migrated: same containment sequence, recorded against this
+        supervisor so the failure report and ``is_quarantined`` agree
+        with the server's state. Idempotent like the underlying
+        :meth:`GuardianServer.quarantine`.
+        """
+        self._quarantine(app_id, self.state_of(app_id), reason)
+
     def reap(self, app_id: str) -> None:
         """Clean up after a dead client (crash detected out-of-band).
 
@@ -182,6 +245,36 @@ class TenantSupervisor:
     # -- the dispatch wrapper ----------------------------------------------------
 
     def _supervised(self, method: str, app_id: str, *args):
+        try:
+            return self._supervised_inner(method, app_id, *args)
+        finally:
+            # The migration rung fires strictly between calls: moving
+            # the tenant mid-dispatch would detach it from the very
+            # server executing its call.
+            self._maybe_migrate(app_id, method)
+
+    def _maybe_migrate(self, app_id: str, method: str) -> None:
+        state = self._states.get(app_id)
+        if (
+            state is None
+            or not state.migration_pending
+            or state.quarantined
+            or self.migration_hook is None
+        ):
+            return
+        state.migration_pending = False
+        reason = (
+            f"fault budget {state.budget:.1f}/"
+            f"{self.policy.fault_budget:.1f}: migrating before eviction"
+        )
+        if self.migration_hook(app_id, reason):
+            self._record(app_id, method, "migration", "migrated",
+                         detail=reason)
+            # The tenant now lives on another node; its state here
+            # would otherwise leak onto a future re-attach.
+            self._states.pop(app_id, None)
+
+    def _supervised_inner(self, method: str, app_id: str, *args):
         state = self.state_of(app_id)
         if state.quarantined:
             if method == "attach" and self.policy.readmit_after_quarantine:
@@ -289,10 +382,7 @@ class TenantSupervisor:
         policy = self.policy
         failed_attempts = fired.spec.times
         if failed_attempts > policy.max_retries:
-            cycles = float(sum(
-                policy.backoff_base_cycles * 2 ** attempt
-                for attempt in range(policy.max_retries)
-            ))
+            cycles = self._backoff_cycles(policy.max_retries)
             self._server._charge(cycles)
             self._fail(state, app_id, method, fired.kind.value, "exhausted",
                        policy.weight_exhausted,
@@ -300,15 +390,28 @@ class TenantSupervisor:
                        detail="retry budget exhausted")
             raise TransientIPCFault(app_id, method, fired.kind.value,
                                     policy.max_retries)
-        cycles = float(sum(
-            policy.backoff_base_cycles * 2 ** attempt
-            for attempt in range(failed_attempts)
-        ))
+        cycles = self._backoff_cycles(failed_attempts)
         self._bump(state, app_id, policy.weight_retry)
         self._record(app_id, method, fired.kind.value, "retried",
                      attempts=failed_attempts, cycles=cycles,
                      detail=f"recovered after {failed_attempts} resend(s)")
         return cycles
+
+    def _backoff_cycles(self, attempts: int) -> float:
+        """Exponential backoff across ``attempts`` resends, each step
+        optionally jittered (``policy.backoff_jitter``). With jitter
+        off the sum is exactly ``sum(base * 2**i)`` — the pinned stock
+        figure; no RNG draw happens, so enabling jitter for one run
+        never shifts another's draws."""
+        policy = self.policy
+        jitter = policy.backoff_jitter
+        total = 0.0
+        for attempt in range(attempts):
+            step = float(policy.backoff_base_cycles * 2 ** attempt)
+            if jitter:
+                step *= 1.0 + jitter * (self._jitter_rng.random() - 0.5)
+            total += step
+        return total
 
     def _mutate_module_args(self, method: str, args: tuple,
                             fired: FiredFault) -> tuple:
@@ -343,6 +446,15 @@ class TenantSupervisor:
         state.budget += weight
         if not state.quarantined and state.budget >= self.policy.fault_budget:
             self._quarantine(app_id, state, "fault budget exhausted")
+            return
+        fraction = self.policy.migrate_budget_fraction
+        if (
+            fraction is not None
+            and not state.quarantined
+            and self.migration_hook is not None
+            and state.budget >= fraction * self.policy.fault_budget
+        ):
+            state.migration_pending = True
 
     def _quarantine(self, app_id: str, state: _TenantState,
                     reason: str) -> None:
@@ -371,4 +483,5 @@ class TenantSupervisor:
         self.records.append(FailureRecord(
             tenant=tenant, op=op, kind=kind, action=action,
             attempts=attempts, cycles=cycles, detail=detail,
+            node=self.node,
         ))

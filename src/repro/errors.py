@@ -170,6 +170,25 @@ class ClientCrashed(GuardianError):
         super().__init__(f"client {app_id!r} crashed during {op!r}")
 
 
+class MigrationError(GuardianError):
+    """A live tenant migration could not complete (snapshot truncated,
+    incompatible fencing mode, no capacity on the target). The tenant
+    is left attached to its source node; migration is all-or-nothing."""
+
+
+class NodeDown(GuardianError):
+    """The node serving this tenant has crashed: its device memory is
+    gone and nothing can be recovered from it. Raised by the cluster
+    client when a call targets a dead node."""
+
+    def __init__(self, app_id: str, node_id: str):
+        self.app_id = app_id
+        self.node_id = node_id
+        super().__init__(
+            f"tenant {app_id!r}: node {node_id!r} is down"
+        )
+
+
 class TenantQuarantined(GuardianError):
     """The tenant exhausted its fault budget and was quarantined: its
     partition reclaimed and scrubbed, its stream drained and destroyed,

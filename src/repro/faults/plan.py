@@ -11,7 +11,12 @@ misbehave consults the plan at a well-defined **site**:
   delays / corruption, malformed PTX, allocator exhaustion, and
   asynchronous stream faults are armed here;
 - ``Site.CLIENT`` — the client shim: client crashes mid-call fire
-  before the message ever reaches the queue.
+  before the message ever reaches the queue;
+- ``Site.NODE`` — the cluster control plane: heartbeat losses, whole-
+  node crashes and partial migration snapshots fire against a *node
+  id* (carried in the spec's ``tenant`` field) when the
+  :class:`~repro.cluster.GuardianCluster` polls health or drives a
+  migration.
 
 Determinism contract: the same plan (same specs, same seed) applied to
 the same call sequence fires the same faults with the same parameters.
@@ -36,6 +41,7 @@ class Site(enum.Enum):
 
     CLIENT = "client"
     SERVER = "server"
+    NODE = "node"
 
 
 class FaultKind(enum.Enum):
@@ -65,11 +71,26 @@ class FaultKind(enum.Enum):
     #: The simulated GPU raises an asynchronous fault on the tenant's
     #: stream, surfaced at the next ordering point (sticky).
     STREAM_FAULT = "stream_fault"
+    #: A node misses one heartbeat deadline (the beat is simply not
+    #: answered); consecutive misses walk the health state machine
+    #: toward ``down``.
+    HEARTBEAT_LOSS = "heartbeat_loss"
+    #: The whole node dies — device memory is gone. Fired on a
+    #: heartbeat it kills the node outright; fired on ``migrate`` it
+    #: kills the *source* node after the snapshot was taken
+    #: (mid-migration crash).
+    NODE_CRASH = "node_crash"
+    #: A migration snapshot arrives truncated; the migration aborts
+    #: and the tenant stays where it was.
+    SNAPSHOT_PARTIAL = "snapshot_partial"
 
     @property
     def site(self) -> Site:
         if self is FaultKind.CLIENT_CRASH:
             return Site.CLIENT
+        if self in (FaultKind.HEARTBEAT_LOSS, FaultKind.NODE_CRASH,
+                    FaultKind.SNAPSHOT_PARTIAL):
+            return Site.NODE
         return Site.SERVER
 
     @property
@@ -84,6 +105,9 @@ _DEFAULT_OPS: dict[FaultKind, tuple[str, ...]] = {
     FaultKind.PTX_CORRUPT: ("register_fatbin", "load_module_ptx"),
     FaultKind.ALLOC_EXHAUST: ("malloc",),
     FaultKind.STREAM_FAULT: ("launch_kernel", "memcpy_h2d", "memset"),
+    FaultKind.HEARTBEAT_LOSS: ("heartbeat",),
+    FaultKind.NODE_CRASH: ("heartbeat", "migrate"),
+    FaultKind.SNAPSHOT_PARTIAL: ("migrate",),
 }
 
 
@@ -97,6 +121,13 @@ class FaultSpec:
     many consecutive delivery attempts fail (retryable kinds only).
     ``magnitude`` scales kind-specific parameters: delay cycles for
     IPC_DELAY, truncation/corruption fraction for the PTX kinds.
+    ``after`` suppresses the spec until the call counter passes it —
+    node plans use it to hold a heartbeat-loss burst (``every=1``)
+    back until a chosen onset beat.
+
+    For ``Site.NODE`` kinds the ``tenant`` field carries a *node id*
+    and ``op`` one of the cluster's consultation points
+    (``"heartbeat"``, ``"migrate"``).
     """
 
     kind: FaultKind
@@ -106,6 +137,7 @@ class FaultSpec:
     every: int | None = None
     times: int = 1
     magnitude: float = 1.0
+    after: int | None = None
 
     def matches(self, tenant: str, op: str, call_no: int) -> bool:
         if self.tenant is not None and self.tenant != tenant:
@@ -117,6 +149,8 @@ class FaultSpec:
             allowed = _DEFAULT_OPS.get(self.kind)
             if allowed is not None and op not in allowed:
                 return False
+        if self.after is not None and call_no <= self.after:
+            return False
         if self.every is not None:
             return call_no % self.every == 0
         return call_no == (self.at_call or 1)
@@ -187,6 +221,15 @@ class FaultPlan:
             fired.reason = self._rng.choice(
                 ("xid-13 illegal address", "xid-31 mmu fault", "watchdog timeout")
             )
+        elif spec.kind is FaultKind.NODE_CRASH:
+            fired.reason = self._rng.choice(
+                ("kernel panic", "power loss", "pcie link down")
+            )
+        elif spec.kind is FaultKind.SNAPSHOT_PARTIAL:
+            # Fraction of the partition image that made it across.
+            fired.truncate_at = min(
+                0.95, 0.1 + 0.8 * self._rng.random() * spec.magnitude
+            )
         return fired
 
     # -- canned plans -----------------------------------------------------------
@@ -201,12 +244,17 @@ class FaultPlan:
     ) -> "FaultPlan":
         """A deterministic chaos schedule for the fault gauntlet.
 
-        Draws ``faults_per_tenant`` specs per tenant from the full
-        taxonomy, with firing points spread across the expected call
-        volume. The same seed always produces the same plan.
+        Draws ``faults_per_tenant`` specs per tenant from the
+        tenant-level taxonomy, with firing points spread across the
+        expected call volume. The same seed always produces the same
+        plan. Node-level kinds are deliberately excluded — they target
+        node ids, not tenants, and keeping them out preserves this
+        generator's historical draws for any given seed (the CI
+        gauntlet matrix pins those). Use :meth:`node_chaos` for plans
+        that exercise the cluster control plane too.
         """
         rng = random.Random(seed)
-        kinds = list(FaultKind)
+        kinds = [kind for kind in FaultKind if kind.site is not Site.NODE]
         specs: list[FaultSpec] = []
         for tenant in tenants:
             for _ in range(faults_per_tenant):
@@ -223,4 +271,61 @@ class FaultPlan:
                         magnitude=0.5 + rng.random(),
                     )
                 )
+        return cls(specs, seed=seed)
+
+    @classmethod
+    def node_chaos(
+        cls,
+        seed: int,
+        nodes: list[str] | tuple[str, ...],
+        tenants: list[str] | tuple[str, ...] = (),
+        beats: int = 32,
+        calls_per_tenant: int = 30,
+        faults_per_tenant: int = 2,
+    ) -> "FaultPlan":
+        """A chaos schedule for the *cluster* gauntlet.
+
+        Rides :meth:`chaos`'s tenant-level specs (when ``tenants`` are
+        given) and layers node-level faults on top: one victim node
+        gets a permanent heartbeat-loss burst starting at a drawn
+        onset beat — driving its health state machine to ``down``
+        mid-workload — and, depending on the seed, the ensuing
+        migrations are hit by a mid-migration source-node crash or a
+        partial snapshot. A second node may suffer a transient
+        single-beat blip (degraded, then recovering). Node specs are
+        drawn from an RNG decoupled from the tenant draws, so adding
+        tenants never reshuffles the node schedule (and vice versa).
+        """
+        specs: list[FaultSpec] = []
+        if tenants:
+            specs.extend(
+                cls.chaos(seed, tenants, calls_per_tenant=calls_per_tenant,
+                          faults_per_tenant=faults_per_tenant).specs
+            )
+        rng = random.Random((seed << 8) ^ 0xA5C3)
+        victim = nodes[rng.randrange(len(nodes))]
+        onset = rng.randint(3, max(4, beats // 2))
+        specs.append(FaultSpec(
+            kind=FaultKind.HEARTBEAT_LOSS, tenant=victim, op="heartbeat",
+            every=1, after=onset,
+        ))
+        roll = rng.random()
+        if roll < 0.35:
+            specs.append(FaultSpec(
+                kind=FaultKind.NODE_CRASH, tenant=victim, op="migrate",
+                at_call=1,
+            ))
+        elif roll < 0.70:
+            specs.append(FaultSpec(
+                kind=FaultKind.SNAPSHOT_PARTIAL, tenant=victim,
+                op="migrate", at_call=1,
+            ))
+        others = [node for node in nodes if node != victim]
+        if others and rng.random() < 0.5:
+            blip = others[rng.randrange(len(others))]
+            beat = rng.randint(2, max(3, beats - 2))
+            specs.append(FaultSpec(
+                kind=FaultKind.HEARTBEAT_LOSS, tenant=blip, op="heartbeat",
+                at_call=beat,
+            ))
         return cls(specs, seed=seed)

@@ -97,6 +97,40 @@ class FirstFitAllocator:
         """True when ``address`` is the start of a live allocation."""
         return address in self._live
 
+    # -- state transplant (tenant migration) ---------------------------------
+
+    def export_state(self) -> tuple[list[tuple[int, int]],
+                                    list[tuple[int, int]]]:
+        """Snapshot the heap as ``(free, live)`` lists of
+        ``(offset, size)`` pairs, offsets *relative to base* — so the
+        state can be replanted at a different base address (live
+        migration moves a partition, and with it its heap, to another
+        node's address range)."""
+        free = [(block.start - self.base, block.size)
+                for block in self._free]
+        live = [(address - self.base, size)
+                for address, size in self._live.items()]
+        return free, live
+
+    @classmethod
+    def from_state(
+        cls,
+        base: int,
+        size: int,
+        free: list[tuple[int, int]],
+        live: list[tuple[int, int]],
+        alignment: int = 256,
+    ) -> "FirstFitAllocator":
+        """Rebuild a heap from :meth:`export_state` output at a (possibly
+        different) base. Every live allocation keeps its offset within
+        the range, so partition-relative pointer arithmetic survives."""
+        heap = cls(base, size, alignment)
+        heap._free = [_FreeBlock(base + offset, block_size)
+                      for offset, block_size in free]
+        heap._live = {base + offset: alloc_size
+                      for offset, alloc_size in live}
+        return heap
+
     def allocation_size(self, address: int) -> int:
         try:
             return self._live[address]

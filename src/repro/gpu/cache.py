@@ -75,6 +75,34 @@ class SetAssociativeCache:
         for ways in self._sets:
             ways.clear()
 
+    def export_lines(self, lo: int, hi: int) -> tuple[int, ...]:
+        """Resident line addresses within ``[lo, hi)``, ordered by
+        (set, recency) with the most recently used first — the shape
+        :meth:`install_lines` reproduces exactly."""
+        lines = []
+        for index, ways in enumerate(self._sets):
+            for tag in ways:  # MRU-first
+                address = (tag * self.num_sets + index) * self.line_bytes
+                if lo <= address < hi:
+                    lines.append(address)
+        return tuple(lines)
+
+    def install_lines(self, lines: tuple[int, ...]) -> None:
+        """Install lines without touching statistics (models a DMA
+        landing in cache). ``lines`` is MRU-first per set, as
+        :meth:`export_lines` produces; existing lines are pushed
+        toward eviction."""
+        for address in reversed(lines):
+            line = address // self.line_bytes
+            index = line % self.num_sets
+            tag = line // self.num_sets
+            ways = self._sets[index]
+            if tag in ways:
+                ways.remove(tag)
+            ways.insert(0, tag)
+            if len(ways) > self.associativity:
+                ways.pop()
+
 
 @dataclass
 class MemoryHierarchy:

@@ -94,3 +94,81 @@ class TestReporting:
         assert percent(0.0484) == "4.8%"
         assert overhead_vs(100.0, 109.0) == pytest.approx(0.09)
         assert overhead_vs(0.0, 5.0) == 0.0
+
+
+class TestClusterFaultMetrics:
+    def _cluster_after_gauntlet(self, seed=1):
+        from repro.cluster import (
+            ClusterConfig, GuardianCluster, PlacementPolicy,
+        )
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan.node_chaos(
+            seed=seed, nodes=("node0", "node1", "node2"),
+            tenants=("a", "b", "c"),
+        )
+        cluster = GuardianCluster(
+            3, config=ClusterConfig(
+                placement=PlacementPolicy(pack=False)),
+            fault_plan=plan,
+        )
+        for name in ("a", "b", "c"):
+            session = cluster.attach(name, 1 << 20)
+            ptr = session.client.malloc(256)
+            session.client.memcpy_h2d(ptr, name.encode() * 256)
+        for _ in range(24):
+            cluster.tick()
+        return cluster
+
+    def test_records_group_by_node(self):
+        from repro.analysis.metrics import collect_cluster_faults
+
+        cluster = self._cluster_after_gauntlet()
+        metrics = collect_cluster_faults(cluster)
+        assert set(metrics.by_node) == {"node0", "node1", "node2"}
+        for node_id, bucket in metrics.by_node.items():
+            assert bucket["failure_domain_score"] is not None
+            assert bucket["health"] is not None
+            assert bucket["records"] == sum(
+                bucket["by_action"].values())
+        # Seed 1 evicts a tenant off the downed node.
+        assert metrics.evictions == 1
+
+    def test_single_supervisor_records_land_in_local_bucket(self):
+        from repro.analysis.metrics import collect_faults
+        from repro.core.server import GuardianServer
+        from repro.core.supervisor import TenantSupervisor
+        from repro.core.policy import FencingMode
+        from repro.gpu.device import Device
+        from repro.gpu.specs import QUADRO_RTX_A4000
+
+        server = GuardianServer(Device(QUADRO_RTX_A4000),
+                                FencingMode.BITWISE)
+        supervisor = TenantSupervisor(server)
+        server.attach("a", 1 << 20)
+        supervisor.quarantine_tenant("a", "test")
+        metrics = collect_faults(supervisor)
+        assert set(metrics.by_node) == {"<local>"}
+        assert metrics.by_node["<local>"]["failure_domain_score"] is None
+
+    def test_report_renders_failure_domains(self):
+        from repro.analysis.metrics import collect_cluster_faults
+        from repro.analysis.reporting import render_failure_report
+
+        cluster = self._cluster_after_gauntlet()
+        report = render_failure_report(
+            collect_cluster_faults(cluster), title="Cluster failures")
+        assert "Failure domains" in report
+        assert "fd score" in report
+        assert "node2" in report
+        assert "down" in report   # the victim node's health state
+        assert "inf" in report    # its failure-domain score
+        assert "migrations:" in report
+
+    def test_report_without_nodes_has_no_domain_table(self):
+        from repro.analysis.metrics import FaultMetrics
+        from repro.analysis.reporting import render_failure_report
+
+        report = render_failure_report(FaultMetrics())
+        assert "Failure domains" not in report
+        assert "migrations:" not in report

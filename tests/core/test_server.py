@@ -289,3 +289,86 @@ class TestModuleGlobalsPlacement:
         # The partition heap gained the global array.
         partition = server.allocator.partition("alice")
         assert partition.heap.bytes_in_use >= 64
+
+
+class TestQuarantineIdempotency:
+    def test_second_quarantine_is_noop(self, server):
+        attach(server, "alice")
+        first = server.quarantine("alice", reason="supervisor")
+        second = server.quarantine("alice", reason="cluster drain")
+        assert first == 1 << 20
+        assert second == 0
+        assert server.stats.tenants_quarantined == 1
+        assert server.stats.bytes_scrubbed == 1 << 20
+
+    def test_unknown_tenant_is_noop(self, server):
+        assert server.quarantine("ghost") == 0
+        assert server.stats.tenants_quarantined == 0
+
+    def test_stale_incarnation_spares_the_newcomer(self, server):
+        """A quarantine decision made against an earlier attach must
+        not evict the new instance that reused the name."""
+        attach(server, "alice")
+        observed = server._tenants["alice"].incarnation
+        server.detach("alice")
+        attach(server, "alice")  # a new instance takes the name
+        assert server.quarantine("alice", incarnation=observed) == 0
+        assert server.tenant_count == 1
+        assert server.stats.tenants_quarantined == 0
+
+    def test_current_incarnation_is_honoured(self, server):
+        attach(server, "alice")
+        current = server._tenants["alice"].incarnation
+        assert server.quarantine("alice", incarnation=current) == 1 << 20
+        assert server.tenant_count == 0
+
+    def test_incarnations_are_monotone(self, server):
+        attach(server, "alice")
+        first = server._tenants["alice"].incarnation
+        server.detach("alice")
+        attach(server, "alice")
+        assert server._tenants["alice"].incarnation > first
+
+
+class TestSnapshotRestore:
+    def test_snapshot_is_readonly(self, server):
+        attach(server, "alice")
+        buf, _ = server.malloc("alice", 4096)
+        server.memcpy_h2d("alice", buf, b"\xcd" * 4096)
+        snapshot = server.snapshot_tenant("alice")
+        assert snapshot.size == 1 << 20
+        assert len(snapshot.data) == snapshot.size
+        # Tenant still fully attached and serving.
+        data, _ = server.memcpy_d2h("alice", buf, 4096)
+        assert data == b"\xcd" * 4096
+
+    def test_restore_on_fresh_server(self, server, device):
+        attach(server, "alice")
+        buf, _ = server.malloc("alice", 4096)
+        server.memcpy_h2d("alice", buf, b"\xcd" * 4096)
+        snapshot = server.snapshot_tenant("alice")
+        peer = GuardianServer(Device(QUADRO_RTX_A4000),
+                              FencingMode.BITWISE)
+        new_base = peer.restore_tenant(snapshot)
+        offset = buf - snapshot.source_base
+        data, _ = peer.memcpy_d2h("alice", new_base + offset, 4096)
+        assert data == b"\xcd" * 4096
+        # Heap state travelled: the next malloc does not overlap.
+        fresh, _ = peer.malloc("alice", 4096)
+        assert fresh != new_base + offset
+
+    def test_restore_refuses_mode_mismatch(self, server):
+        attach(server, "alice")
+        snapshot = server.snapshot_tenant("alice")
+        peer = GuardianServer(Device(QUADRO_RTX_A4000),
+                              FencingMode.CHECKING)
+        from repro.errors import MigrationError
+        with pytest.raises(MigrationError, match="fenced"):
+            peer.restore_tenant(snapshot)
+
+    def test_restore_refuses_double_attach(self, server):
+        attach(server, "alice")
+        snapshot = server.snapshot_tenant("alice")
+        from repro.errors import MigrationError
+        with pytest.raises(MigrationError, match="already attached"):
+            server.restore_tenant(snapshot)

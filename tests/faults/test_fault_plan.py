@@ -123,3 +123,78 @@ class TestMutators:
         )
         # The original is untouched (plans must not mutate in place).
         assert fatbin.entries[0].payload
+
+
+class TestNodeSites:
+    def test_node_kinds_route_to_node_site(self):
+        for kind in (FaultKind.HEARTBEAT_LOSS, FaultKind.NODE_CRASH,
+                     FaultKind.SNAPSHOT_PARTIAL):
+            assert kind.site is Site.NODE
+
+    def test_after_gates_until_call_counter_passes(self):
+        plan = FaultPlan([FaultSpec(
+            FaultKind.HEARTBEAT_LOSS, tenant="node0", op="heartbeat",
+            every=1, after=3,
+        )])
+        fires = [plan.fire(Site.NODE, "node0", "heartbeat") is not None
+                 for _ in range(6)]
+        assert fires == [False, False, False, True, True, True]
+
+    def test_chaos_excludes_node_kinds(self):
+        """chaos() predates the node sites; its draw sequence — and
+        therefore every historical gauntlet seed — must not shift."""
+        plan = FaultPlan.chaos(seed=0, tenants=("a", "b"))
+        assert all(s.kind.site is not Site.NODE for s in plan.specs)
+
+    def test_node_chaos_is_deterministic(self):
+        nodes = ("node0", "node1")
+        first = FaultPlan.node_chaos(seed=4, nodes=nodes, tenants=("a",))
+        second = FaultPlan.node_chaos(seed=4, nodes=nodes, tenants=("a",))
+        assert [
+            (s.kind, s.tenant, s.op, s.at_call, s.every, s.after)
+            for s in first.specs
+        ] == [
+            (s.kind, s.tenant, s.op, s.at_call, s.every, s.after)
+            for s in second.specs
+        ]
+
+    def test_node_chaos_targets_a_node(self):
+        nodes = ("node0", "node1", "node2")
+        plan = FaultPlan.node_chaos(seed=2, nodes=nodes)
+        node_specs = [s for s in plan.specs if s.kind.site is Site.NODE]
+        assert node_specs, "node_chaos must inject node faults"
+        assert all(s.tenant in nodes for s in node_specs)
+        # The sustained outage: a heartbeat burst with an onset delay.
+        burst = [s for s in node_specs
+                 if s.kind is FaultKind.HEARTBEAT_LOSS and s.every == 1]
+        assert burst and burst[0].after is not None
+
+    def test_node_chaos_rides_tenant_chaos(self):
+        """Tenant-level specs inside node_chaos match plain chaos() —
+        the node RNG is decoupled from the tenant draws."""
+        tenants = ("a", "b")
+        plain = FaultPlan.chaos(seed=7, tenants=tenants,
+                                faults_per_tenant=2)
+        combined = FaultPlan.node_chaos(
+            seed=7, nodes=("node0",), tenants=tenants)
+        tenant_specs = [s for s in combined.specs
+                        if s.kind.site is not Site.NODE]
+        assert [
+            (s.kind, s.tenant, s.op, s.at_call) for s in tenant_specs
+        ] == [
+            (s.kind, s.tenant, s.op, s.at_call) for s in plain.specs
+        ]
+
+    def test_snapshot_partial_draws_truncation(self):
+        spec = FaultSpec(FaultKind.SNAPSHOT_PARTIAL, tenant="node0",
+                         op="migrate")
+        fired = FaultPlan([spec], seed=1)._parameterise(
+            spec, "node0", "migrate", 1)
+        assert 0.0 < fired.truncate_at <= 0.95
+
+    def test_node_crash_draws_a_reason(self):
+        spec = FaultSpec(FaultKind.NODE_CRASH, tenant="node0",
+                         op="heartbeat")
+        fired = FaultPlan([spec], seed=1)._parameterise(
+            spec, "node0", "heartbeat", 1)
+        assert fired.reason

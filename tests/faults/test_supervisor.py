@@ -335,3 +335,74 @@ class TestFailureReporting:
         assert "QUARANTINED" in report
         assert "stream_fault" in report
         assert "bytes scrubbed" in report
+
+
+class TestBackoffJitter:
+    def _supervisor(self, jitter, seed=11):
+        server = GuardianServer(Device(QUADRO_RTX_A4000),
+                                FencingMode.BITWISE)
+        return TenantSupervisor(
+            server,
+            plan=FaultPlan([], seed=seed),
+            policy=SupervisorPolicy(backoff_jitter=jitter),
+        )
+
+    def test_zero_jitter_is_exact_stock_sum(self):
+        supervisor = self._supervisor(jitter=0.0)
+        base = supervisor.policy.backoff_base_cycles
+        assert supervisor._backoff_cycles(3) == base * (1 + 2 + 4)
+
+    def test_zero_jitter_never_draws(self):
+        """Enabling jitter in one run must not shift another run's RNG
+        draws — with jitter off the RNG is never consulted."""
+        supervisor = self._supervisor(jitter=0.0)
+        before = supervisor._jitter_rng.getstate()
+        supervisor._backoff_cycles(3)
+        assert supervisor._jitter_rng.getstate() == before
+
+    def test_jitter_bounded_per_step(self):
+        supervisor = self._supervisor(jitter=0.5)
+        base = supervisor.policy.backoff_base_cycles
+        for attempts in (1, 2, 3):
+            exact = base * (2 ** attempts - 1)
+            jittered = self._supervisor(jitter=0.5)._backoff_cycles(
+                attempts)
+            assert exact * 0.75 <= jittered <= exact * 1.25
+            assert jittered != exact
+
+    def test_jitter_is_seeded_from_the_plan(self):
+        """Same plan seed, same draws — gauntlet runs stay
+        reproducible; a different seed jitters differently."""
+        first = self._supervisor(jitter=0.25, seed=5)
+        second = self._supervisor(jitter=0.25, seed=5)
+        other = self._supervisor(jitter=0.25, seed=6)
+        trace_a = [first._backoff_cycles(3) for _ in range(4)]
+        trace_b = [second._backoff_cycles(3) for _ in range(4)]
+        trace_c = [other._backoff_cycles(3) for _ in range(4)]
+        assert trace_a == trace_b
+        assert trace_a != trace_c
+
+    def test_install_plan_reseeds_jitter(self):
+        supervisor = self._supervisor(jitter=0.25, seed=5)
+        first = supervisor._backoff_cycles(3)
+        supervisor.install_plan(FaultPlan([], seed=5))
+        assert supervisor._backoff_cycles(3) == first
+
+    def test_retry_path_charges_jittered_cycles(self):
+        """End-to-end: a retried drop with jitter on still recovers,
+        and two identically-seeded systems charge identical cycles."""
+        def run():
+            policy = SupervisorPolicy(backoff_jitter=0.3)
+            sys = system_with(
+                [FaultSpec(FaultKind.IPC_DROP, tenant="a",
+                           op="malloc", at_call=1, times=2)],
+                seed=9, policy=policy,
+            )
+            tenant = sys.attach("a", PARTITION)
+            tenant.runtime.cudaMalloc(256)
+            return [(r.action, r.cycles) for r in sys.supervisor.records]
+
+        first, second = run(), run()
+        assert first == second
+        assert first[0][0] == "retried"
+        assert first[0][1] > 0
