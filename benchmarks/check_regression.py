@@ -20,7 +20,11 @@ Reads the ``BENCH_*.json`` files the benchmark run emitted into
 - ``cluster_migration``: the chaos gauntlet's survival floor — zero
   disruptions of tenants on surviving nodes, and at least the
   baseline's number of completed live migrations across the seed
-  sweep.
+  sweep;
+- ``telemetry_overhead``: enabling the telemetry spine may not
+  inflate the modelled host-cycle total past ``max_cycle_ratio``
+  (the spine observes the clock, it never charges it — the measured
+  ratio is exactly 1.0 by construction).
 
 A measurement missing from ``BENCH_DIR`` falls back to the committed
 ``benchmarks/trajectory/`` snapshot (the last numbers a maintainer
@@ -139,6 +143,24 @@ def check_cluster(bench_dir: Path, baseline: dict) -> int:
     return 0
 
 
+def check_telemetry(bench_dir: Path, baseline: dict) -> int:
+    measured = load_bench(bench_dir, "telemetry_overhead")
+    if measured is None:
+        return fail("BENCH_telemetry_overhead.json was not emitted and "
+                    "no trajectory snapshot exists")
+    ratio = measured["host_cycle_ratio"]
+    ceiling = baseline["max_cycle_ratio"]
+    print(f"telemetry_overhead: host-cycle ratio {ratio:.6f} "
+          f"(ceiling {ceiling:.2f})")
+    if ratio > ceiling:
+        return fail(
+            f"telemetry-on/off host-cycle ratio {ratio:.6f} exceeds "
+            f"the {ceiling:.2f} ceiling — telemetry must observe the "
+            f"clock, never charge it"
+        )
+    return 0
+
+
 def main(argv: list[str]) -> int:
     bench_dir = Path(argv[1]) if len(argv) > 1 else Path(".")
     baseline = json.loads(BASELINE.read_text())
@@ -146,6 +168,7 @@ def main(argv: list[str]) -> int:
     status |= check_table5(bench_dir, baseline["table5_interception"])
     status |= check_multitenant(bench_dir, baseline["multitenant_scaling"])
     status |= check_cluster(bench_dir, baseline["cluster_migration"])
+    status |= check_telemetry(bench_dir, baseline["telemetry_overhead"])
     if not status:
         print("benchmark smoke: no regressions")
     return status

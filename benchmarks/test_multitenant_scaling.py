@@ -22,7 +22,7 @@ import time
 
 import numpy as np
 
-from repro.analysis.metrics import collect_lanes
+from repro.analysis.metrics import collect_all
 from repro.analysis.reporting import render_lane_report
 from repro.core.patcher import (
     ParallelPatcher,
@@ -142,7 +142,7 @@ class TestMultiTenantScaling:
         rows = []
         speedups = {}
         for tenants, serial, concurrent in points:
-            metrics = collect_lanes(concurrent)
+            metrics = collect_all(concurrent).lanes
             speedups[tenants] = metrics.speedup
             rows.append([
                 tenants,
@@ -160,7 +160,7 @@ class TestMultiTenantScaling:
         )
         _, _, eight = points[-1]
         print()
-        print(render_lane_report(collect_lanes(eight),
+        print(render_lane_report(collect_all(eight).lanes,
                                  title="Dispatch lanes (8 tenants)"))
 
         emit_bench_json("multitenant_scaling", {

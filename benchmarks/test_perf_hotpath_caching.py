@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.metrics import collect_hotpath
+from repro.analysis.metrics import collect_all
 from repro.analysis.reporting import render_hotpath_report
 from repro.core.policy import FencingMode
 from repro.core.server import GuardianServer, ServerConfig
@@ -62,7 +62,7 @@ def run_sharing_workload(config: ServerConfig):
     device.synchronize(spatial=True)
 
     clients = [client for client, _, _ in tenants]
-    return server, clients, collect_hotpath(server, clients)
+    return server, clients, collect_all(server, clients=clients).hotpath
 
 
 class TestHotPathCaching:

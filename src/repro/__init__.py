@@ -46,6 +46,7 @@ from repro.gpu.specs import (
 )
 from repro.runtime.api import CudaRuntime
 from repro.runtime.interpose import DynamicLoader
+from repro.telemetry import Telemetry
 
 __version__ = "1.0.0"
 
@@ -68,6 +69,7 @@ __all__ = [
     "QUADRO_RTX_A4000",
     "ServerConfig",
     "SupervisorPolicy",
+    "Telemetry",
     "TenantSupervisor",
     "preload_guardian",
 ]

@@ -1,18 +1,25 @@
-"""``python -m repro`` — system info and a 30-second self-check.
+"""``python -m repro`` — system info, a self-check, and reports.
 
-Prints the simulated device specs (Table 2), the protected-sharing
-feature matrix (Table 6), and runs a miniature end-to-end smoke:
-two tenants, one library call, one attack, one assertion.
+With no arguments: prints the simulated device specs (Table 2), the
+protected-sharing feature matrix (Table 6), and runs a miniature
+end-to-end smoke — two tenants, one library call, one attack, one
+assertion.
+
+``python -m repro report <snapshot.json>`` renders a telemetry
+snapshot dumped by :func:`repro.telemetry.export.dump_snapshot` —
+the per-tenant latency quantiles, the counter/gauge series and a
+span summary; ``--prometheus`` prints the text exposition instead.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 import numpy as np
 
 
-def main() -> int:
+def selfcheck() -> int:
     import repro
     from repro.analysis.reporting import (
         render_feature_matrix,
@@ -61,6 +68,44 @@ def main() -> int:
     system.synchronize()
     print("self-check passed: library intercepted, attack contained.")
     return 0
+
+
+def report(path: str, prometheus: bool = False) -> int:
+    from repro.analysis.reporting import render_telemetry_report
+    from repro.telemetry.export import load_snapshot
+
+    snapshot = load_snapshot(path)
+    if prometheus:
+        exposition = snapshot.get("prometheus")
+        if exposition is None:
+            print("snapshot has no prometheus exposition",
+                  file=sys.stderr)
+            return 1
+        print(exposition, end="")
+        return 0
+    print(render_telemetry_report(snapshot))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Guardian reproduction: self-check and reports.",
+    )
+    commands = parser.add_subparsers(dest="command")
+    report_parser = commands.add_parser(
+        "report", help="render a dumped telemetry snapshot",
+    )
+    report_parser.add_argument("snapshot",
+                               help="path to a snapshot .json")
+    report_parser.add_argument(
+        "--prometheus", action="store_true",
+        help="print the Prometheus text exposition instead",
+    )
+    options = parser.parse_args(argv)
+    if options.command == "report":
+        return report(options.snapshot, prometheus=options.prometheus)
+    return selfcheck()
 
 
 if __name__ == "__main__":

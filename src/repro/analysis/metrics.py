@@ -170,9 +170,15 @@ class LaneMetrics:
     @property
     def overlap_efficiency(self) -> float:
         """Speedup as a fraction of the lane count (1.0 = perfectly
-        parallel lanes, 1/n = fully serialized)."""
+        parallel lanes, 1/n = fully serialized).
+
+        Degenerate snapshots stay well-defined: a serial run *with*
+        work reports the serial figure 1.0, while a pre-dispatch
+        snapshot (no lanes, no work) reports 0.0 — never a
+        ZeroDivisionError.
+        """
         if not self.lane_count:
-            return 1.0
+            return 1.0 if self.total_work else 0.0
         return self.speedup / self.lane_count
 
     @property
@@ -242,6 +248,8 @@ class FaultMetrics:
 
     @property
     def retry_success_rate(self) -> float:
+        """Recovered retries over all retry outcomes; 0.0 for an
+        empty pre-dispatch snapshot (never a ZeroDivisionError)."""
         exhausted = self.by_action.get("exhausted", 0)
         total = self.retries + exhausted
         return self.retries / total if total else 0.0
@@ -317,6 +325,90 @@ def collect_cluster_faults(cluster) -> FaultMetrics:
     metrics.migrations_failed = cluster.migrations_failed
     metrics.evictions = len(cluster.evictions)
     return metrics
+
+
+@dataclass
+class SystemSnapshot:
+    """Every ``collect_*`` view of one deployment, taken together."""
+
+    hotpath: HotPathMetrics
+    lanes: LaneMetrics
+    faults: FaultMetrics | None = None
+    cluster: FaultMetrics | None = None
+
+
+def collect_all(server, clients=(), supervisor=None,
+                cluster=None) -> SystemSnapshot:
+    """One composite snapshot: hot path + lanes, plus fault and
+    cluster views when a supervisor / cluster is provided.
+
+    When the server carries a telemetry spine, the snapshot is also
+    mirrored into its metrics registry (:func:`register_snapshot`) so
+    the Prometheus exposition and ``python -m repro report`` see the
+    same numbers the benchmark tables print.
+    """
+    snapshot = SystemSnapshot(
+        hotpath=collect_hotpath(server, clients=clients),
+        lanes=collect_lanes(server),
+        faults=(collect_faults(supervisor)
+                if supervisor is not None else None),
+        cluster=(collect_cluster_faults(cluster)
+                 if cluster is not None else None),
+    )
+    telemetry = getattr(server, "telemetry", None)
+    if telemetry is not None:
+        register_snapshot(telemetry.registry, snapshot)
+    return snapshot
+
+
+def register_snapshot(registry, snapshot: SystemSnapshot) -> None:
+    """Publish a :class:`SystemSnapshot` as registry gauges."""
+    hotpath = snapshot.hotpath
+    registry.gauge(
+        "guardian_server_cycles", "server busy clock (modelled cycles)",
+    ).set(hotpath.server_cycles)
+    registry.gauge(
+        "guardian_client_cycles",
+        "sum of every client's critical-path cycles",
+    ).set(hotpath.client_cycles)
+    cache = registry.gauge(
+        "guardian_cache_hit_rate", "hot-path cache hit rates, by cache",
+    )
+    cache.set(hotpath.patch_hit_rate, cache="patch")
+    cache.set(hotpath.extract_hit_rate, cache="extract")
+    cache.set(hotpath.fastpath_hit_rate, cache="fastpath")
+    lanes = snapshot.lanes
+    registry.gauge(
+        "guardian_makespan_cycles", "critical path across tenant lanes",
+    ).set(lanes.makespan)
+    registry.gauge(
+        "guardian_overlap_efficiency",
+        "lane speedup as a fraction of the lane count",
+    ).set(lanes.overlap_efficiency)
+    lane_busy = registry.gauge(
+        "guardian_lane_busy_cycles", "per-lane busy cycles, by tenant",
+    )
+    lane_stalled = registry.gauge(
+        "guardian_lane_stalled_cycles",
+        "per-lane critical-section stall cycles, by tenant",
+    )
+    for app_id, row in lanes.lanes.items():
+        lane_busy.set(row["busy"], tenant=app_id)
+        lane_stalled.set(row["stalled"], tenant=app_id)
+    for view, scope in ((snapshot.faults, "node"),
+                        (snapshot.cluster, "cluster")):
+        if view is None:
+            continue
+        records = registry.gauge(
+            "guardian_failure_records",
+            "supervisor failure records, by kind and scope",
+        )
+        for kind, count in view.by_kind.items():
+            records.set(count, kind=kind, scope=scope)
+        registry.gauge(
+            "guardian_retry_success_rate",
+            "recovered retries over all retry outcomes",
+        ).set(view.retry_success_rate, scope=scope)
 
 
 class Profiler:

@@ -229,6 +229,94 @@ def render_failure_report(metrics, title: str = "Tenant failures") -> str:
     return "\n".join(lines)
 
 
+def render_telemetry_report(snapshot: dict,
+                            title: str = "Telemetry") -> str:
+    """Render a dumped :meth:`repro.telemetry.Telemetry.snapshot`.
+
+    This is what ``python -m repro report <snapshot.json>`` prints:
+    the histogram families with their p50/p99/p999 quantiles, the
+    counter and gauge series, and a span summary by category.
+    """
+    lines = [title]
+    meta = snapshot.get("meta") or {}
+    if meta:
+        lines.append(", ".join(
+            f"{key}={value}" for key, value in sorted(meta.items())
+        ))
+    histogram_rows = []
+    counter_rows = []
+    gauge_rows = []
+    for family in snapshot.get("metrics", []):
+        for series in family["series"]:
+            labels = ", ".join(
+                f"{key}={value}"
+                for key, value in sorted(series["labels"].items())
+            ) or "-"
+            if family["type"] == "histogram":
+                quantiles = series["quantiles"]
+                histogram_rows.append([
+                    family["name"], labels, series["count"],
+                    _quantity(quantiles.get("p50")),
+                    _quantity(quantiles.get("p99")),
+                    _quantity(quantiles.get("p999")),
+                    _quantity(series.get("max")),
+                ])
+            elif family["type"] == "counter":
+                counter_rows.append([
+                    family["name"], labels, _quantity(series["value"]),
+                ])
+            else:
+                gauge_rows.append([
+                    family["name"], labels, _quantity(series["value"]),
+                ])
+    if histogram_rows:
+        lines.append(render_table(
+            ["histogram", "labels", "count", "p50", "p99", "p999",
+             "max"],
+            histogram_rows, title="Latency distributions",
+        ))
+    if counter_rows:
+        lines.append(render_table(
+            ["counter", "labels", "total"], counter_rows,
+            title="Counters",
+        ))
+    if gauge_rows:
+        lines.append(render_table(
+            ["gauge", "labels", "value"], gauge_rows, title="Gauges",
+        ))
+    spans = snapshot.get("spans", [])
+    if spans:
+        by_category: dict[str, list] = {}
+        for span in spans:
+            bucket = by_category.setdefault(
+                span["category"], [0, 0.0]
+            )
+            bucket[0] += 1
+            bucket[1] += span["end"] - span["start"]
+        span_rows = [
+            [category, count, f"{cycles:,.0f}"]
+            for category, (count, cycles)
+            in sorted(by_category.items())
+        ]
+        lines.append(render_table(
+            ["span category", "spans", "cycles"], span_rows,
+            title="Spans",
+        ))
+    dropped = snapshot.get("spans_dropped", 0)
+    if dropped:
+        lines.append(f"spans dropped by the ring bound: {dropped}")
+    return "\n\n".join(lines)
+
+
+def _quantity(value) -> str:
+    """Compact numeric cell: thousands-grouped, '-' for absent."""
+    if value is None:
+        return "-"
+    if isinstance(value, float) and value != int(value):
+        return f"{value:,.1f}"
+    return f"{value:,.0f}"
+
+
 def percent(value: float) -> str:
     return f"{value * 100:.1f}%"
 

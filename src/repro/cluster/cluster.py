@@ -39,7 +39,12 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Union
 
 from repro.cluster.client import ClusterClient
-from repro.cluster.health import HealthPolicy, NodeHealth, NodeHealthMonitor
+from repro.cluster.health import (
+    HealthPolicy,
+    NodeHealth,
+    NodeHealthMonitor,
+    publish_node_health,
+)
 from repro.cluster.placement import PlacementPolicy
 from repro.core.policy import FencingMode
 from repro.core.server import GuardianServer, ServerConfig
@@ -56,6 +61,7 @@ from repro.gpu.device import Device
 from repro.gpu.specs import DeviceSpec, QUADRO_RTX_A4000
 from repro.runtime.api import CudaRuntime
 from repro.runtime.interpose import LIBCUDA, DynamicLoader
+from repro.telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -217,6 +223,14 @@ class GuardianCluster:
         self.beat = 0
         self.migrations: list[MigrationRecord] = []
         self.evictions: list[EvictionRecord] = []
+        #: The control plane's own telemetry (separate from each
+        #: node's server-level spine; its track unit is microseconds
+        #: of modelled transfer time, not server cycles). Follows the
+        #: same ServerConfig knob so one switch lights up every layer.
+        self.telemetry: Optional[Telemetry] = (
+            Telemetry(self.config.server_config.telemetry_capacity)
+            if self.config.server_config.telemetry else None
+        )
         #: Per-node cursor into supervisor.records already fed to the
         #: health monitor.
         self._record_cursors: dict[str, int] = {
@@ -311,6 +325,9 @@ class GuardianCluster:
                 shed = self._shed_one(node)
                 if shed:
                     actions.append(shed)
+        if self.telemetry is not None:
+            for node in self.nodes:
+                publish_node_health(self.telemetry.registry, node.monitor)
         return {
             "beat": self.beat,
             "states": {
@@ -435,6 +452,7 @@ class GuardianCluster:
         self.migrations.append(record)
         if target is None:
             record.detail = "no eligible target node"
+            self._observe_migration(record)
             return False
         # Deliver any batched async work to the source before the cut:
         # the snapshot must include it (in-order-per-application).
@@ -459,6 +477,7 @@ class GuardianCluster:
         except ReproError as failure:
             record.detail = f"snapshot refused: {failure}"
             source.monitor.note_failure("migration_failed", weight=1.0)
+            self._observe_migration(record)
             return False
         if truncate_at is not None:
             snapshot = replace(
@@ -475,6 +494,7 @@ class GuardianCluster:
         except MigrationError as failure:
             record.detail = str(failure)
             source.monitor.note_failure("migration_failed", weight=1.0)
+            self._observe_migration(record)
             return False
         record.bytes_moved = snapshot.size
         record.transfer_seconds = (
@@ -486,7 +506,59 @@ class GuardianCluster:
             source.supervisor.forget(app_id)
         session.client.rebind(target, new_base)
         record.success = True
+        self._observe_migration(record)
         return True
+
+    def _observe_migration(self, record: MigrationRecord) -> None:
+        """Retrospective migration spans + counter on the cluster track.
+
+        A completed move becomes a parent span covering the whole
+        transfer with ``snapshot`` (source half) and ``restore``
+        (target half) children; a failed attempt becomes a
+        zero-duration marker carrying the failure detail. The cluster
+        tracer's axis is microseconds of modelled PCIe transfer time.
+        """
+        if self.telemetry is None:
+            return
+        tracer = self.telemetry.tracer
+        outcome = "success" if record.success else "failed"
+        self.telemetry.migrations.inc(
+            source=record.source, target=record.target, outcome=outcome,
+        )
+        start = tracer.clock
+        common = {"source": record.source, "target": record.target,
+                  "trigger": record.trigger, "beat": record.beat}
+        if not record.success:
+            tracer.emit(
+                f"migrate:{record.tenant}", "migration", record.tenant,
+                track="cluster", start=start, end=start,
+                outcome="failed", detail=record.detail, **common,
+            )
+            return
+        total_us = record.transfer_seconds * 1e6
+        src_us = (
+            record.bytes_moved
+            / (self.node(record.source).spec.pcie_bw_gbps * 1e9) * 1e6
+        )
+        trace_id = tracer.new_trace()
+        parent = tracer.emit(
+            f"migrate:{record.tenant}", "migration", record.tenant,
+            track="cluster", start=start, end=start + total_us,
+            trace_id=trace_id, outcome="success",
+            bytes_moved=record.bytes_moved, **common,
+        )
+        tracer.emit(
+            "snapshot", "migration", record.tenant, track="cluster",
+            start=start, end=start + src_us, trace_id=trace_id,
+            parent_id=parent.span_id, node=record.source,
+        )
+        tracer.emit(
+            "restore", "migration", record.tenant, track="cluster",
+            start=start + src_us, end=start + total_us,
+            trace_id=trace_id, parent_id=parent.span_id,
+            node=record.target,
+        )
+        tracer.advance(total_us)
 
     # -- introspection --------------------------------------------------------------
 

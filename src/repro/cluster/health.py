@@ -59,6 +59,36 @@ ACTION_WEIGHTS: dict[str, float] = {
     "migrated": 0.0,  # the move itself is not the node's failure
 }
 
+#: Numeric rung per state, for gauges/dashboards (0 = healthy).
+HEALTH_RUNG: dict[NodeHealth, int] = {
+    NodeHealth.HEALTHY: 0,
+    NodeHealth.DEGRADED: 1,
+    NodeHealth.SUSPECT: 2,
+    NodeHealth.DOWN: 3,
+}
+
+
+def publish_node_health(registry, monitor: "NodeHealthMonitor") -> None:
+    """Mirror one monitor's state into a metrics registry.
+
+    Two gauges per node: the ladder rung (0 healthy .. 3 down) and
+    the failure-domain score placement penalizes by. A DOWN node's
+    score is ``inf``; the gauge keeps the finite decayed sum and lets
+    the rung carry the terminal state, so exposition stays numeric.
+    """
+    registry.gauge(
+        "guardian_node_health_rung",
+        "node health ladder rung (0 healthy, 1 degraded, "
+        "2 suspect, 3 down)",
+    ).set(HEALTH_RUNG[monitor.state], node=monitor.node_id)
+    score = monitor.failure_domain_score()
+    if score == float("inf"):
+        score = monitor.score
+    registry.gauge(
+        "guardian_node_failure_domain_score",
+        "decayed failure-domain score placement penalizes by",
+    ).set(score, node=monitor.node_id)
+
 
 @dataclass(frozen=True)
 class HealthPolicy:

@@ -77,6 +77,11 @@ class GuardianClient(GpuBackend):
 
     # -- plumbing -----------------------------------------------------------------
 
+    @property
+    def telemetry(self):
+        """The server's telemetry spine (None with the knob off)."""
+        return self.channel.telemetry
+
     def _call(self, method: str, *args, payload_bytes: int = 0,
               sync: bool = True):
         if self.crashed:
@@ -89,6 +94,10 @@ class GuardianClient(GpuBackend):
                 # flushed), exactly the state the server-side reaper
                 # has to clean up after.
                 self.crashed = True
+                if self.telemetry is not None:
+                    self.telemetry.client_crashes.inc(
+                        tenant=self.app_id, method=method
+                    )
                 raise ClientCrashed(self.app_id, method)
         self.profile.charge(method, INTERCEPT_CYCLES)
         before = self.channel.stats.client_cycles

@@ -100,6 +100,12 @@ class _QueuedCall:
     method: str
     args: tuple
     payload_bytes: int
+    #: Telemetry only (None with the knob off): the trace id minted at
+    #: enqueue time — the same id travels with the call through its
+    #: flush, so queue wait and dispatch share one trace — and the
+    #: client-cycle instant the call entered the queue.
+    trace_id: int | None = None
+    enqueued_at: float = 0.0
 
 
 class IPCChannel:
@@ -124,6 +130,11 @@ class IPCChannel:
         self.stats = IPCStats()
         self._queue: list[_QueuedCall] = []
         self._closed = False
+        # The server's telemetry spine, if its config enabled one
+        # (resolved through the supervisor when one wraps the server).
+        # None keeps every path below bit-identical to the stock
+        # channel — the telemetry-off guarantee.
+        self.telemetry = getattr(target, "telemetry", None)
 
     def call(self, method: str, *args, payload_bytes: int = 0,
              sync: bool = True):
@@ -160,10 +171,20 @@ class IPCChannel:
         self.stats.messages += 1
         self.stats.payload_bytes += payload_bytes
         self.stats.client_cycles += transport
-        result, server_cycles = self._dispatch(method, args)
+        telemetry = self.telemetry
+        trace_id = (
+            telemetry.tracer.new_trace() if telemetry is not None else None
+        )
+        result, server_cycles = self._dispatch(method, args,
+                                               trace_id=trace_id)
         if sync:
             # The client blocks until the server replies.
             self.stats.client_cycles += server_cycles
+        if telemetry is not None:
+            telemetry.record_call(
+                self.app_id, method,
+                transport + (server_cycles if sync else 0.0),
+            )
         return result
 
     def flush(self) -> int:
@@ -183,8 +204,24 @@ class IPCChannel:
         self.stats.batches += 1
         self.stats.batched_messages += len(batch)
         self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+        telemetry = self.telemetry
+        if telemetry is not None:
+            # Every queued call waited from its enqueue instant to this
+            # flush — a span on the client's own cycle axis.
+            flushed_at = self.stats.client_cycles
+            for queued in batch:
+                telemetry.tracer.emit(
+                    f"queue_wait:{queued.method}", "queue", self.app_id,
+                    track=f"client:{self.app_id}",
+                    start=queued.enqueued_at, end=flushed_at,
+                    trace_id=queued.trace_id,
+                )
+                telemetry.record_queue_wait(
+                    self.app_id, flushed_at - queued.enqueued_at
+                )
         for queued in batch:
-            self._dispatch(queued.method, queued.args)
+            self._dispatch(queued.method, queued.args,
+                           trace_id=queued.trace_id)
         return len(batch)
 
     @property
@@ -235,17 +272,46 @@ class IPCChannel:
         # round-trip half is paid once per batch at flush time.
         self.stats.messages += 1
         self.stats.payload_bytes += payload_bytes
-        self.stats.client_cycles += (
+        marshal = (
             self.costs.marshal + self.costs.payload_cycles(payload_bytes)
         )
-        self._queue.append(_QueuedCall(method, args, payload_bytes))
+        self.stats.client_cycles += marshal
+        queued = _QueuedCall(method, args, payload_bytes)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            queued.trace_id = telemetry.tracer.new_trace()
+            queued.enqueued_at = self.stats.client_cycles
+            # A batched call's client-visible cost is its marshalling;
+            # the server work lands on the server's busy time.
+            telemetry.record_call(self.app_id, method, marshal)
+        self._queue.append(queued)
         if len(self._queue) >= self.max_batch:
             self.flush()
         return None
 
-    def _dispatch(self, method: str, args: tuple):
+    def _dispatch(self, method: str, args: tuple,
+                  trace_id: int | None = None):
         handler = self._resolve_handler(method)
-        result, server_cycles = handler(self.app_id, *args)
+        telemetry = self.telemetry
+        if telemetry is None:
+            result, server_cycles = handler(self.app_id, *args)
+            self.stats.server_cycles += server_cycles
+            return result, server_cycles
+        # The call span: opened at the dispatch boundary so every
+        # charge the handler makes — including the supervisor's fault
+        # cycles — lands inside it. Per-tenant call-span durations
+        # therefore sum to exactly the server's busy-clock delta.
+        span = telemetry.tracer.begin(method, "call", self.app_id,
+                                      trace_id=trace_id)
+        try:
+            result, server_cycles = handler(self.app_id, *args)
+        except Exception as failure:
+            span.attrs["error"] = type(failure).__name__
+            raise
+        finally:
+            telemetry.tracer.end(span)
+        span.attrs["server_cycles"] = server_cycles
+        telemetry.record_dispatch(self.app_id, method, server_cycles)
         self.stats.server_cycles += server_cycles
         return result, server_cycles
 

@@ -72,6 +72,7 @@ from repro.gpu.allocator import FirstFitAllocator
 from repro.gpu.device import Device
 from repro.gpu.stream import Stream
 from repro.runtime.backend import CPU_GHZ, DriverCostModel
+from repro.telemetry import Telemetry, maybe_span
 
 
 @dataclass(frozen=True)
@@ -146,6 +147,12 @@ class ServerConfig:
       ``_check_range`` per run (the containment predicate itself is
       still evaluated for every chunk — only the modelled cost is
       coalesced).
+    - ``telemetry``: per-call span tracing + the unified metrics
+      registry (:mod:`repro.telemetry`, DESIGN.md §11). Observation
+      only: no hook charges cycles, so every modelled total is
+      bit-identical with the knob on or off — the stock default stays
+      the paper's numbers *and* so does the instrumented run.
+      ``telemetry_capacity`` bounds the span ring buffer.
     """
 
     enable_patch_cache: bool = False
@@ -158,6 +165,8 @@ class ServerConfig:
     lane_policy: str = "fifo"
     patch_workers: int = 4
     coalesce_transfer_checks: bool = False
+    telemetry: bool = False
+    telemetry_capacity: int = 65_536
 
     @classmethod
     def hotpath(cls, **overrides) -> "ServerConfig":
@@ -339,6 +348,16 @@ class GuardianServer:
         self.standalone_native = standalone_native
         self.config = config or ServerConfig()
         self.stats = ServerStats()
+        # The telemetry spine (None = knob off, the stock server).
+        # Channels, the supervisor, the device and the cluster all
+        # resolve this attribute, so one deployment shares one tracer
+        # clock and one registry.
+        self.telemetry: Optional[Telemetry] = (
+            Telemetry(self.config.telemetry_capacity)
+            if self.config.telemetry else None
+        )
+        if self.telemetry is not None:
+            device.telemetry = self.telemetry
         # Hot-path caches (None = knob off, seed behaviour). In
         # concurrency mode the cache is the thread-safe variant because
         # the patch pool's workers share it.
@@ -571,8 +590,13 @@ class GuardianServer:
                 self.stats.checks_coalesced += 1
                 return 0.0
         self.stats.transfers_checked += 1
-        cost = self._charge(self.costs.transfer_check)
-        if not record.contains(address, size):
+        with maybe_span(self.telemetry, "bounds_check", "bounds", app_id,
+                        what=what, address=address, size=size) as span:
+            cost = self._charge(self.costs.transfer_check)
+            contained = record.contains(address, size)
+            if span is not None:
+                span.attrs["ok"] = contained
+        if not contained:
             self.stats.transfers_rejected += 1
             raise BoundsViolation(app_id, address, size, detail=what)
         if run is not None and self._coalesce:
@@ -592,13 +616,17 @@ class GuardianServer:
         """
         self._enter(app_id)
         tenant = self._tenant(app_id)
-        ptx_texts, cycles = self._extract_ptx(fatbin)
+        with maybe_span(self.telemetry, "extract_ptx", "patch", app_id,
+                        fatbin=fatbin.name):
+            ptx_texts, cycles = self._extract_ptx(fatbin)
         if not ptx_texts:
             raise GuardianError(
                 f"fatbin {fatbin.name!r} carries no PTX; Guardian "
                 f"cannot sandbox cuBIN-only binaries"
             )
-        patched, patch_cycles = self._patch_texts(ptx_texts)
+        with maybe_span(self.telemetry, "patch_ptx", "patch", app_id,
+                        texts=len(ptx_texts)):
+            patched, patch_cycles = self._patch_texts(ptx_texts)
         cycles += patch_cycles
         handles: dict[str, int] = {}
         for ptx_text, (patched_text, reports) in zip(ptx_texts, patched):
@@ -611,7 +639,9 @@ class GuardianServer:
         """Explicit PTX load (the driver-API path some apps use)."""
         self._enter(app_id)
         tenant = self._tenant(app_id)
-        handles, cycles = self._load_ptx_pair(tenant, ptx_text)
+        with maybe_span(self.telemetry, "patch_ptx", "patch", app_id,
+                        texts=1):
+            handles, cycles = self._load_ptx_pair(tenant, ptx_text)
         return handles, self.costs.dispatch + cycles
 
     def _extract_ptx(self, fatbin: FatBinary) -> tuple[list[str], float]:
@@ -836,7 +866,9 @@ class GuardianServer:
 
         cycles += self.costs.launch_syscall
         self.stats.launches += 1
-        self._charge(cycles)
+        with maybe_span(self.telemetry, "launch", "launch", app_id,
+                        handle=handle, native=use_native):
+            self._charge(cycles)
         try:
             self.driver.cuLaunchKernel(
                 function, grid, block, launch_params, tenant.stream,
@@ -1172,6 +1204,7 @@ class GuardianServer:
         work_cycles = cycles if work is None else work
         self.stats.cycles += work_cycles
         lane = self._active_lane
+        stalled = 0.0
         if lane is not None:
             lane.busy += work_cycles
             if critical:
@@ -1182,12 +1215,29 @@ class GuardianServer:
                         lane, self._lanes, self._critical_clock
                     ),
                 )
-                lane.stalled += start - lane.clock
+                stalled = start - lane.clock
+                lane.stalled += stalled
                 lane.clock = start + cycles
                 lane.critical += cycles
                 self._critical_clock = lane.clock
             else:
                 lane.clock += cycles
+        telemetry = self.telemetry
+        if telemetry is not None:
+            # The tracer's cursor mirrors the busy clock: this is the
+            # ONLY place it advances, so span durations are exactly
+            # the charged work. Critical-section occupancy gets its
+            # own span (nested inside the dispatch's call span).
+            if critical:
+                span = telemetry.tracer.begin(
+                    "critical_section", "critical",
+                    lane.app_id if lane is not None else "",
+                    stalled=stalled,
+                )
+                telemetry.tracer.advance(work_cycles)
+                telemetry.tracer.end(span)
+            else:
+                telemetry.tracer.advance(work_cycles)
         return cycles
 
     def _release(self) -> float:

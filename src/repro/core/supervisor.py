@@ -51,6 +51,7 @@ from repro.errors import (
 )
 from repro.faults.inject import mutate_fatbin, mutate_ptx_text
 from repro.faults.plan import FaultKind, FaultPlan, FiredFault, Site
+from repro.telemetry import maybe_span
 
 
 @dataclass(frozen=True)
@@ -329,8 +330,13 @@ class TenantSupervisor:
             self._arm_stream_fault(app_id, method, armed_stream_fault)
         if fault_cycles:
             # Fault handling burns real server time; charge it to the
-            # busy clock and to the caller's critical path.
-            self._server._charge(fault_cycles)
+            # busy clock and to the caller's critical path. The span
+            # nests inside the call span the IPC channel opened, so
+            # fault cycles stay inside the per-tenant reconciliation.
+            with maybe_span(self._server.telemetry,
+                            f"fault:{fired.kind.value}", "fault", app_id,
+                            action="handled"):
+                self._server._charge(fault_cycles)
             cycles += fault_cycles
         if cycles > self.policy.deadline_cycles:
             state.deadline_violations += 1
@@ -383,7 +389,11 @@ class TenantSupervisor:
         failed_attempts = fired.spec.times
         if failed_attempts > policy.max_retries:
             cycles = self._backoff_cycles(policy.max_retries)
-            self._server._charge(cycles)
+            with maybe_span(self._server.telemetry,
+                            f"fault:{fired.kind.value}", "fault", app_id,
+                            action="exhausted",
+                            attempts=policy.max_retries):
+                self._server._charge(cycles)
             self._fail(state, app_id, method, fired.kind.value, "exhausted",
                        policy.weight_exhausted,
                        attempts=policy.max_retries, cycles=cycles,
@@ -415,11 +425,14 @@ class TenantSupervisor:
 
     def _mutate_module_args(self, method: str, args: tuple,
                             fired: FiredFault) -> tuple:
+        telemetry = self._server.telemetry
         if method == "load_module_ptx" and args:
-            return (mutate_ptx_text(args[0], fired),) + args[1:]
+            return (mutate_ptx_text(args[0], fired,
+                                    telemetry=telemetry),) + args[1:]
         if method == "register_fatbin" and args \
                 and isinstance(args[0], FatBinary):
-            return (mutate_fatbin(args[0], fired),) + args[1:]
+            return (mutate_fatbin(args[0], fired,
+                                  telemetry=telemetry),) + args[1:]
         return args
 
     def _arm_stream_fault(self, app_id: str, method: str,
@@ -485,3 +498,9 @@ class TenantSupervisor:
             attempts=attempts, cycles=cycles, detail=detail,
             node=self.node,
         ))
+        telemetry = self._server.telemetry
+        if telemetry is not None:
+            telemetry.fault_events.inc(
+                tenant=tenant, kind=kind, action=action,
+                node=self.node or "<local>",
+            )

@@ -4,7 +4,9 @@ These are pure functions from (payload, fired fault) to the corrupted
 payload; the TenantSupervisor applies them to the handler arguments
 before dispatch. Keeping them here (rather than inside the supervisor)
 makes each mutation unit-testable and reusable by future chaos
-harnesses.
+harnesses. With a telemetry spine attached each applied mutation is
+counted (``guardian_payload_mutations_total`` by kind) — observation
+only, the mutation itself is unchanged.
 """
 
 from __future__ import annotations
@@ -13,24 +15,36 @@ from repro.driver.fatbin import FatBinary, FatbinEntry
 from repro.faults.plan import FaultKind, FiredFault
 
 
-def mutate_ptx_text(ptx_text: str, fired: FiredFault) -> str:
+def _count_mutation(telemetry, fired: FiredFault, payload: str) -> None:
+    if telemetry is not None:
+        telemetry.payload_mutations.inc(kind=fired.kind.value,
+                                        payload=payload)
+
+
+def mutate_ptx_text(ptx_text: str, fired: FiredFault,
+                    telemetry=None) -> str:
     """Truncate or corrupt one PTX module text."""
     if not ptx_text:
         return ptx_text
     if fired.kind is FaultKind.PTX_TRUNCATE:
         cut = max(1, int(len(ptx_text) * fired.truncate_at))
+        _count_mutation(telemetry, fired, "ptx_text")
         return ptx_text[:cut]
     if fired.kind is FaultKind.PTX_CORRUPT:
         # Overwrite a deterministic window with a garbage token: the
         # parser must reject it, never crash on it.
         position = max(0, int(len(ptx_text) * fired.truncate_at) - 1)
         garbage = chr(33 + fired.corrupt_byte % 90) * 8
+        _count_mutation(telemetry, fired, "ptx_text")
         return ptx_text[:position] + garbage + ptx_text[position + 8 :]
     return ptx_text
 
 
-def mutate_fatbin(fatbin: FatBinary, fired: FiredFault) -> FatBinary:
+def mutate_fatbin(fatbin: FatBinary, fired: FiredFault,
+                  telemetry=None) -> FatBinary:
     """Rebuild a fatBIN with every entry's payload mangled."""
+    if fired.kind in (FaultKind.PTX_TRUNCATE, FaultKind.PTX_CORRUPT):
+        _count_mutation(telemetry, fired, "fatbin")
     entries = []
     for entry in fatbin.entries:
         payload = entry.payload

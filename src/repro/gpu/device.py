@@ -68,6 +68,10 @@ class Device:
         self.contexts: dict[int, Context] = {}
         self.metrics = DeviceMetrics()
         self.clock_cycles = 0.0
+        #: Set by the GuardianServer when its telemetry knob is on:
+        #: each synchronize then emits device-track spans for the
+        #: tasks the timeline just resolved. None = stock device.
+        self.telemetry = None
         self._pending: list[GpuTask] = []
         self._keep_launch_results = keep_launch_results
         #: Sampling knob for large grids (None = execute every block).
@@ -211,13 +215,38 @@ class Device:
         )
         # Continue on the device's global clock: releases are global
         # host-clock instants, so back-to-back batches share one axis.
-        result = timeline.run(self._pending,
-                              start_cycles=self.clock_cycles)
+        base = self.clock_cycles
+        resolved = self._pending
+        result = timeline.run(resolved, start_cycles=base)
         self._pending = []
         self.clock_cycles += result.makespan_cycles
         self.metrics.total_cycles += result.makespan_cycles
         self.metrics.context_switches += result.context_switches
+        if self.telemetry is not None and resolved:
+            self._emit_device_spans(base, resolved, result)
         return result
+
+    def _emit_device_spans(self, base: float, tasks: list[GpuTask],
+                           result: TimelineResult) -> None:
+        """Retrospective device-track spans on the global device axis.
+
+        Emitted after the timeline pass (telemetry observes, never
+        charges): one span per resolved task, from its admission to
+        its finish instant, on the ``gpu`` track under the owning
+        tenant's thread.
+        """
+        tracer = self.telemetry.tracer
+        for task in tasks:
+            finish = result.task_finish.get(task.seq)
+            if finish is None:
+                continue
+            start = result.task_start.get(task.seq, 0.0)
+            tracer.emit(
+                task.label or task.kind, "device", task.tag,
+                track="gpu", start=base + start, end=base + finish,
+                kind=task.kind, demand=task.demand,
+                release=task.release,
+            )
 
     @property
     def pending_tasks(self) -> int:

@@ -68,6 +68,10 @@ class TimelineResult:
     start_by_tag: dict[str, float]
     context_switches: int
     task_finish: dict[int, float]  # seq -> finish time
+    #: seq -> admission time (when the task actually started running,
+    #: after release and engine/stream gating). Same relative axis as
+    #: ``task_finish``; consumed by the telemetry device track.
+    task_start: dict[int, float] = field(default_factory=dict)
 
     def tag_duration(self, tag: str) -> float:
         return self.completion_by_tag[tag] - self.start_by_tag.get(tag, 0.0)
@@ -112,6 +116,7 @@ class Timeline:
         clock = start_cycles
         running: list[_Running] = []
         finish: dict[int, float] = {}
+        admitted: dict[int, float] = {}
         completion: dict[str, float] = {}
         start: dict[str, float] = {}
         active_context: Optional[int] = None
@@ -183,6 +188,7 @@ class Timeline:
                     else:
                         remaining = head.work_cycles + head.fixed_cycles
                     running.append(_Running(task=head, remaining=remaining))
+                    admitted[head.seq] = clock
                     if head.tag and head.tag not in start:
                         start[head.tag] = clock
                     started = True
@@ -239,6 +245,9 @@ class Timeline:
             context_switches=switches,
             task_finish={
                 seq: at - start_cycles for seq, at in finish.items()
+            },
+            task_start={
+                seq: at - start_cycles for seq, at in admitted.items()
             },
         )
 

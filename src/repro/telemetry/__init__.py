@@ -1,0 +1,151 @@
+"""End-to-end telemetry: span tracing, metrics, exportable timelines.
+
+:class:`Telemetry` bundles one :class:`~repro.telemetry.trace.SpanTracer`
+with one :class:`~repro.telemetry.registry.MetricsRegistry` and
+pre-declares the metric families the core hook points feed. The
+GuardianServer owns one instance when ``ServerConfig.telemetry`` is on
+(``server.telemetry`` is ``None`` otherwise — the stock, bit-identical
+default); the IPC channel, supervisor, device and cluster all resolve
+it through the server so every layer of one deployment shares one
+tracer clock and one registry.
+
+The contract every hook honours: **telemetry observes the timeline, it
+never charges it.** No hook adds cycles to any modelled clock; the
+tracer's cursor only mirrors what ``GuardianServer._charge`` already
+charged. The overhead benchmark pins the consequence — identical
+host-cycle totals with the knob on and off.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QUANTILES,
+)
+from repro.telemetry.trace import SERVER_TRACK, Span, SpanTracer
+
+__all__ = [
+    "Telemetry",
+    "SpanTracer",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "QUANTILES",
+    "SERVER_TRACK",
+    "maybe_span",
+]
+
+
+class Telemetry:
+    """One deployment's tracer + registry, with the core families."""
+
+    def __init__(self, capacity: int = 65_536):
+        self.tracer = SpanTracer(capacity)
+        self.registry = MetricsRegistry()
+        # The families the built-in hook points feed. Declared up
+        # front so the exposition is stable even before traffic.
+        self.calls = self.registry.counter(
+            "guardian_calls_total",
+            "forwarded client calls, by tenant and method",
+        )
+        self.call_latency = self.registry.histogram(
+            "guardian_call_latency_cycles",
+            "modelled client-visible latency per call "
+            "(transport + server work for synchronous calls)",
+        )
+        self.dispatch_cycles = self.registry.histogram(
+            "guardian_dispatch_cycles",
+            "server cycles charged per dispatched call",
+        )
+        self.queue_wait = self.registry.histogram(
+            "guardian_queue_wait_cycles",
+            "client cycles a batched call waited before its flush",
+        )
+        self.fault_events = self.registry.counter(
+            "guardian_fault_events_total",
+            "supervisor failure records, by tenant, kind, action, node",
+        )
+        self.payload_mutations = self.registry.counter(
+            "guardian_payload_mutations_total",
+            "injected payload corruptions applied, by kind",
+        )
+        self.client_crashes = self.registry.counter(
+            "guardian_client_crashes_total",
+            "client processes that died mid-call",
+        )
+        self.migrations = self.registry.counter(
+            "guardian_migrations_total",
+            "live migration attempts, by source, target, outcome",
+        )
+
+    # -- hook-point helpers -------------------------------------------------------
+
+    def record_call(self, tenant: str, method: str,
+                    latency_cycles: float) -> None:
+        self.calls.inc(tenant=tenant, method=method)
+        self.call_latency.observe(latency_cycles, tenant=tenant,
+                                  method=method)
+        # The per-tenant aggregate series is what the p50/p99/p999
+        # report renders without a per-method explosion.
+        self.call_latency.observe(latency_cycles, tenant=tenant)
+
+    def record_dispatch(self, tenant: str, method: str,
+                        server_cycles: float) -> None:
+        self.dispatch_cycles.observe(server_cycles, tenant=tenant,
+                                     method=method)
+
+    def record_queue_wait(self, tenant: str, waited_cycles: float) -> None:
+        self.queue_wait.observe(waited_cycles, tenant=tenant)
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def snapshot(self, meta: dict | None = None) -> dict:
+        """JSON-safe dump of the registry and the retained spans."""
+        spans = [
+            {
+                "name": span.name,
+                "category": span.category,
+                "tenant": span.tenant,
+                "track": span.track,
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "start": span.start,
+                "end": span.end,
+                "attrs": span.attrs,
+            }
+            for span in self.tracer.spans()
+        ]
+        return {
+            "meta": dict(meta or {}),
+            "metrics": self.registry.snapshot(),
+            "spans": spans,
+            "spans_dropped": self.tracer.spans_dropped,
+            "prometheus": self.registry.render_prometheus(),
+        }
+
+
+@contextmanager
+def maybe_span(telemetry: Optional[Telemetry], name: str, category: str,
+               tenant: str = "", **attrs):
+    """A tracer span when telemetry is on; a no-op when it is None.
+
+    Keeps every hook site a one-liner with zero work on the stock
+    path — the hook's only off-mode cost is this None check.
+    """
+    if telemetry is None:
+        yield None
+        return
+    span = telemetry.tracer.begin(name, category, tenant, **attrs)
+    try:
+        yield span
+    finally:
+        telemetry.tracer.end(span)

@@ -1,0 +1,82 @@
+"""Exporters: Chrome-trace / Perfetto JSON and snapshot files.
+
+The Chrome trace event format (the JSON ``traceEvents`` array Perfetto
+and ``chrome://tracing`` both load) maps onto the tracer's model
+directly: each :class:`~repro.telemetry.trace.Span` becomes one
+complete ``"X"`` event, each track one process row (with a metadata
+``process_name`` event), and each (track, tenant) pair one thread row.
+Timestamps are **modelled cycles**, not microseconds — the viewer's
+time unit is nominal, the shapes and nesting are what matter.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.telemetry.trace import Span
+
+
+def to_chrome_trace(spans: Iterable[Span]) -> dict:
+    """Build the Chrome-trace JSON object for ``spans``."""
+    events: list[dict] = []
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+    for span in spans:
+        pid = pids.get(span.track)
+        if pid is None:
+            pid = pids[span.track] = len(pids) + 1
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": span.track},
+            })
+        thread_key = (span.track, span.tenant or "<server>")
+        tid = tids.get(thread_key)
+        if tid is None:
+            tid = tids[thread_key] = (
+                sum(1 for key in tids if key[0] == span.track) + 1
+            )
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": thread_key[1]},
+            })
+        args = {"trace_id": span.trace_id, "span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(span.attrs)
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.category,
+            "ts": span.start,
+            "dur": span.cycles,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"time_unit": "modelled cycles"},
+    }
+
+
+def write_chrome_trace(path: Union[str, Path],
+                       spans: Iterable[Span]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(spans), indent=1))
+    return path
+
+
+def dump_snapshot(path: Union[str, Path], telemetry,
+                  meta: dict | None = None) -> Path:
+    """Write one :class:`~repro.telemetry.Telemetry` snapshot to disk
+    (the file ``python -m repro report`` renders)."""
+    path = Path(path)
+    path.write_text(json.dumps(telemetry.snapshot(meta=meta), indent=1))
+    return path
+
+
+def load_snapshot(path: Union[str, Path]) -> dict:
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,281 @@
+"""A unified metrics registry: counters, gauges, HDR-style histograms.
+
+Every labelled series lives in one named family; the registry owns the
+families and renders them all as a Prometheus-style text exposition or
+a JSON-safe snapshot. The histogram is HDR-style log-linear: values
+land in geometrically spaced buckets (32 per octave, ~2.2% relative
+width), so p50/p99/p999 come out of a sparse dict walk with bounded
+relative error and O(1) memory per distinct magnitude — no sample
+retention.
+
+Everything here is pure bookkeeping on the modelled numbers; nothing
+charges cycles (the telemetry-observes-never-charges rule).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+#: Sub-buckets per octave: 2**(1/32) growth, ≤2.2% quantile error.
+_SUB_BUCKETS = 32
+_GROWTH_LOG = _SUB_BUCKETS / math.log(2.0)
+
+#: The quantiles the exposition and reports present.
+QUANTILES = ((0.5, "p50"), (0.99, "p99"), (0.999, "p999"))
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+def _finite(value: float):
+    """JSON-safe float (inf/nan become None rather than breaking
+    ``json.dumps`` consumers)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+class _Family:
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._series: dict[tuple, object] = {}
+
+    def series(self) -> list[tuple[dict, object]]:
+        return [(dict(key), value) for key, value in self._series.items()]
+
+    def labelled(self, **labels):
+        raise NotImplementedError
+
+
+class Counter(_Family):
+    """Monotone event counts per label set."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative inc {amount}")
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+
+class Gauge(_Family):
+    """Last-written values per label set."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        self._series[_label_key(labels)] = float(value)
+
+    def value(self, **labels) -> Optional[float]:
+        return self._series.get(_label_key(labels))
+
+
+class _HistogramSeries:
+    """One label set's log-linear bucket counts."""
+
+    __slots__ = ("buckets", "count", "total", "min", "max")
+
+    def __init__(self):
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    @staticmethod
+    def _index(value: float) -> int:
+        if value < 1.0:
+            return 0  # sub-unit values share the zero bucket
+        return 1 + int(math.log(value) * _GROWTH_LOG)
+
+    @staticmethod
+    def _representative(index: int) -> float:
+        if index <= 0:
+            return 0.0
+        # Geometric midpoint of the bucket's bounds.
+        return math.exp((index - 0.5) / _GROWTH_LOG)
+
+    def observe(self, value: float) -> None:
+        index = self._index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def quantile(self, q: float) -> float:
+        if not self.count:
+            return 0.0
+        target = max(1, math.ceil(q * self.count))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= target:
+                # Clamp into the observed range so degenerate series
+                # (one value) report exactly that value.
+                return min(max(self._representative(index), self.min),
+                           self.max)
+        return self.max
+
+
+class Histogram(_Family):
+    """HDR-style histograms per label set."""
+
+    kind = "histogram"
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries()
+        series.observe(value)
+
+    def quantile(self, q: float, **labels) -> float:
+        series = self._series.get(_label_key(labels))
+        return series.quantile(q) if series is not None else 0.0
+
+    def count(self, **labels) -> int:
+        series = self._series.get(_label_key(labels))
+        return series.count if series is not None else 0
+
+
+class MetricsRegistry:
+    """Named metric families, created on first use.
+
+    Asking for an existing name with a different type is a programming
+    error and raises; asking with the same type returns the existing
+    family, so ``registry.counter("x").inc()`` is safe from any site.
+    """
+
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self):
+        self._families: dict[str, _Family] = {}
+
+    def _family(self, kind: str, name: str, help: str) -> _Family:
+        family = self._families.get(name)
+        if family is not None:
+            if family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{family.kind}, not {kind}"
+                )
+            if help and not family.help:
+                family.help = help
+            return family
+        family = self._KINDS[kind](name, help)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._family("counter", name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._family("gauge", name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._family("histogram", name, help)
+
+    def families(self) -> list[_Family]:
+        return list(self._families.values())
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def snapshot(self) -> list[dict]:
+        """JSON-safe dump of every family and series."""
+        out = []
+        for family in self._families.values():
+            series = []
+            for labels, value in family.series():
+                if isinstance(value, _HistogramSeries):
+                    series.append({
+                        "labels": labels,
+                        "count": value.count,
+                        "sum": _finite(value.total),
+                        "min": _finite(value.min),
+                        "max": _finite(value.max),
+                        "quantiles": {
+                            name: _finite(value.quantile(q))
+                            for q, name in QUANTILES
+                        },
+                    })
+                else:
+                    series.append({
+                        "labels": labels, "value": _finite(value),
+                    })
+            out.append({
+                "name": family.name,
+                "type": family.kind,
+                "help": family.help,
+                "series": series,
+            })
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (histograms as summaries)."""
+        lines: list[str] = []
+        for family in self._families.values():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            exposition_type = (
+                "summary" if family.kind == "histogram" else family.kind
+            )
+            lines.append(f"# TYPE {family.name} {exposition_type}")
+            for labels, value in family.series():
+                if isinstance(value, _HistogramSeries):
+                    for q, _ in QUANTILES:
+                        quantile_labels = dict(labels)
+                        quantile_labels["quantile"] = str(q)
+                        lines.append(
+                            f"{family.name}"
+                            f"{_render_labels(quantile_labels)} "
+                            f"{_render_value(value.quantile(q))}"
+                        )
+                    lines.append(
+                        f"{family.name}_count{_render_labels(labels)} "
+                        f"{value.count}"
+                    )
+                    lines.append(
+                        f"{family.name}_sum{_render_labels(labels)} "
+                        f"{_render_value(value.total)}"
+                    )
+                else:
+                    lines.append(
+                        f"{family.name}{_render_labels(labels)} "
+                        f"{_render_value(value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape(str(value))}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _render_value(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and value == int(value) \
+            and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

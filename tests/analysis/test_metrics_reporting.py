@@ -172,3 +172,158 @@ class TestClusterFaultMetrics:
         report = render_failure_report(FaultMetrics())
         assert "Failure domains" not in report
         assert "migrations:" not in report
+
+    def test_report_groups_merged_supervisors_per_node(self):
+        """Two node-stamped supervisors merged with ``into=`` keep
+        their records in separate per-node buckets, and the rendered
+        report carries one row per node."""
+        from repro.analysis.metrics import collect_faults
+        from repro.analysis.reporting import render_failure_report
+        from repro.core.policy import FencingMode
+        from repro.core.server import GuardianServer
+        from repro.core.supervisor import TenantSupervisor
+        from repro.gpu.device import Device
+        from repro.gpu.specs import QUADRO_RTX_A4000
+
+        def supervisor_on(node):
+            server = GuardianServer(Device(QUADRO_RTX_A4000),
+                                    FencingMode.BITWISE)
+            return TenantSupervisor(server, node=node)
+
+        left, right = supervisor_on("nodeA"), supervisor_on("nodeB")
+        left.server.attach("a", 1 << 20)
+        left.quarantine_tenant("a", "test eviction")
+        right.server.attach("b", 1 << 20)
+        right.quarantine_tenant("b", "test eviction")
+        right.server.attach("c", 1 << 20)
+        right.quarantine_tenant("c", "test eviction")
+
+        metrics = collect_faults(left)
+        metrics = collect_faults(right, into=metrics)
+        assert set(metrics.by_node) == {"nodeA", "nodeB"}
+        assert metrics.by_node["nodeA"]["records"] == 1
+        assert metrics.by_node["nodeB"]["records"] == 2
+        assert metrics.by_node["nodeB"]["by_action"]["quarantined"] == 2
+
+        report = render_failure_report(metrics)
+        lines = report.splitlines()
+        node_lines = [line for line in lines
+                      if line.startswith(("nodeA", "nodeB"))]
+        assert len(node_lines) == 2
+        assert "quarantined=2" in report
+
+
+class TestDenominatorGuards:
+    """Satellite: degenerate (pre-dispatch) snapshots never divide by
+    zero — they report well-defined sentinel figures instead."""
+
+    def test_overlap_efficiency_empty_snapshot_is_zero(self):
+        from repro.analysis.metrics import LaneMetrics
+
+        assert LaneMetrics().overlap_efficiency == 0.0
+
+    def test_overlap_efficiency_serial_with_work_is_one(self):
+        from repro.analysis.metrics import LaneMetrics
+
+        serial = LaneMetrics(total_work=1000.0, makespan=1000.0,
+                             lane_count=0)
+        assert serial.overlap_efficiency == 1.0
+
+    def test_overlap_efficiency_before_any_dispatch(self, guardian_system):
+        from repro.analysis.metrics import collect_lanes
+
+        _, server = guardian_system
+        metrics = collect_lanes(server)
+        assert metrics.overlap_efficiency == 0.0  # no lanes, no work
+
+    def test_retry_success_rate_empty_is_zero(self):
+        from repro.analysis.metrics import FaultMetrics
+
+        assert FaultMetrics().retry_success_rate == 0.0
+
+    def test_retry_success_rate_before_any_dispatch(self):
+        from repro.analysis.metrics import collect_faults
+        from repro.core.policy import FencingMode
+        from repro.core.server import GuardianServer
+        from repro.core.supervisor import TenantSupervisor
+        from repro.gpu.device import Device
+        from repro.gpu.specs import QUADRO_RTX_A4000
+
+        supervisor = TenantSupervisor(
+            GuardianServer(Device(QUADRO_RTX_A4000), FencingMode.BITWISE)
+        )
+        assert collect_faults(supervisor).retry_success_rate == 0.0
+
+
+class TestCollectAll:
+    def _system(self, telemetry=False):
+        from repro import GuardianSystem, ServerConfig
+
+        system = GuardianSystem(
+            config=ServerConfig(telemetry=telemetry), supervised=True,
+        )
+        tenant = system.attach("a", 1 << 20)
+        ptr = tenant.runtime.cudaMalloc(256)
+        tenant.runtime.cudaMemcpyH2D(ptr, b"x" * 256)
+        return system, tenant
+
+    def test_composite_snapshot_matches_parts(self):
+        from repro.analysis.metrics import (
+            collect_all,
+            collect_faults,
+            collect_hotpath,
+            collect_lanes,
+        )
+
+        system, tenant = self._system()
+        snapshot = collect_all(system.server, clients=(tenant.client,),
+                               supervisor=system.supervisor)
+        direct = collect_hotpath(system.server, clients=(tenant.client,))
+        assert snapshot.hotpath.server_cycles == direct.server_cycles
+        assert snapshot.hotpath.client_cycles == direct.client_cycles
+        assert snapshot.lanes.total_work == (
+            collect_lanes(system.server).total_work)
+        assert snapshot.faults.records == (
+            collect_faults(system.supervisor).records)
+        assert snapshot.cluster is None
+
+    def test_optional_views_default_to_none(self):
+        from repro.analysis.metrics import collect_all
+
+        system, _ = self._system()
+        snapshot = collect_all(system.server)
+        assert snapshot.faults is None and snapshot.cluster is None
+        assert snapshot.hotpath.client_cycles == 0.0  # no clients given
+
+    def test_collect_all_publishes_into_telemetry_registry(self):
+        from repro import GuardianSystem, ServerConfig
+        from repro.analysis.metrics import collect_all
+
+        # Concurrent dispatch so per-lane gauges have rows to publish.
+        system = GuardianSystem(
+            config=ServerConfig.concurrent(telemetry=True))
+        tenant = system.attach("a", 1 << 20)
+        ptr = tenant.runtime.cudaMalloc(256)
+        tenant.runtime.cudaMemcpyH2D(ptr, b"x" * 256)
+        tenant.client.flush()
+        snapshot = collect_all(system.server, clients=(tenant.client,))
+        registry = system.server.telemetry.registry
+        assert registry.gauge("guardian_server_cycles").value() == (
+            snapshot.hotpath.server_cycles)
+        assert registry.gauge("guardian_lane_busy_cycles").value(
+            tenant="a") is not None
+        exposition = registry.render_prometheus()
+        assert "guardian_makespan_cycles" in exposition
+
+    def test_collect_all_cluster_view(self):
+        from repro.analysis.metrics import collect_all
+        from repro.cluster import GuardianCluster
+
+        cluster = GuardianCluster(2)
+        cluster.attach("a", 1 << 20)
+        cluster.tick()
+        node = cluster.nodes[0]
+        snapshot = collect_all(node.server, supervisor=node.supervisor,
+                               cluster=cluster)
+        assert snapshot.cluster is not None
+        assert set(snapshot.cluster.by_node) >= {"node0", "node1"}
