@@ -12,6 +12,10 @@ Reads the ``BENCH_*.json`` files the benchmark run emitted into
   regress (grow) by more than ``max_regression`` (10%) relative to the
   recorded baseline ratio — the hot-path caches must keep earning
   their keep;
+- ``trace_specialization``: the traced-vs-default ratio is held to the
+  same relative regression ceiling *and* to an absolute ``max_ratio``
+  (0.30) — the trace layer must keep beating the plain hot-path
+  caches' 0.40, not merely not get worse;
 - ``table5_interception``: the stock per-op costs are pinned exactly —
   any drift from the paper's Table 5 numbers fails the job;
 - ``multitenant_scaling``: the concurrent-dispatch makespan speedup at
@@ -80,6 +84,29 @@ def check_hotpath(bench_dir: Path, baseline: dict) -> int:
             f"cached-vs-default ratio {ratio:.4f} exceeds the "
             f"{baseline['max_regression']:.0%} regression ceiling "
             f"{ceiling:.4f}"
+        )
+    return 0
+
+
+def check_trace_specialization(bench_dir: Path, baseline: dict) -> int:
+    measured = load_bench(bench_dir, "trace_specialization")
+    if measured is None:
+        return fail("BENCH_trace_specialization.json was not emitted "
+                    "and no trajectory snapshot exists")
+    ratio = measured["cached_vs_default_ratio"]
+    ceiling = min(
+        baseline["cached_vs_default_ratio"]
+        * (1.0 + baseline["max_regression"]),
+        baseline["max_ratio"],
+    )
+    print(f"trace_specialization: traced/default ratio {ratio:.4f} "
+          f"(baseline {baseline['cached_vs_default_ratio']:.4f}, "
+          f"ceiling {ceiling:.4f})")
+    if ratio > ceiling:
+        return fail(
+            f"traced-vs-default ratio {ratio:.4f} exceeds the ceiling "
+            f"{ceiling:.4f} (relative regression bound and the "
+            f"absolute {baseline['max_ratio']:.2f} bar)"
         )
     return 0
 
@@ -165,6 +192,9 @@ def main(argv: list[str]) -> int:
     bench_dir = Path(argv[1]) if len(argv) > 1 else Path(".")
     baseline = json.loads(BASELINE.read_text())
     status = check_hotpath(bench_dir, baseline["hotpath_caching"])
+    status |= check_trace_specialization(
+        bench_dir, baseline["trace_specialization"]
+    )
     status |= check_table5(bench_dir, baseline["table5_interception"])
     status |= check_multitenant(bench_dir, baseline["multitenant_scaling"])
     status |= check_cluster(bench_dir, baseline["cluster_migration"])

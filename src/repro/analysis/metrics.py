@@ -74,6 +74,18 @@ class HotPathMetrics:
     ipc_batched_messages: int = 0
     ipc_aborted_batches: int = 0
     ipc_discarded_calls: int = 0
+    ipc_marshal_cached_calls: int = 0
+    #: Trace specialization (0 everywhere with the knob off).
+    traces_compiled: int = 0
+    trace_replays: int = 0
+    trace_replay_ops: int = 0
+    trace_eligible_ops: int = 0
+    trace_invalidations: int = 0
+    trace_guard_failures: int = 0
+    trace_ranges_prechecked: int = 0
+    #: Disk-backed patch cache (0 without ``patch_cache_dir``).
+    patch_disk_hits: int = 0
+    patch_disk_writes: int = 0
     server_cycles: float = 0.0
     client_cycles: float = 0.0
 
@@ -94,8 +106,19 @@ class HotPathMetrics:
 
     @property
     def fastpath_hit_rate(self) -> float:
+        """Launch fast-path hit rate; 0.0 on a zero-call snapshot —
+        a server that never launched must not divide by zero (PR 6's
+        denominator-guard convention, applied to every rate here)."""
         probes = self.fastpath_hits + self.fastpath_misses
         return self.fastpath_hits / probes if probes else 0.0
+
+    @property
+    def trace_replay_rate(self) -> float:
+        """Share of trace-eligible async ops served by replay; 0.0 on
+        a zero-call snapshot (same guard as the hit rates above)."""
+        if not self.trace_eligible_ops:
+            return 0.0
+        return self.trace_replay_ops / self.trace_eligible_ops
 
     @property
     def mean_batch_size(self) -> float:
@@ -118,12 +141,22 @@ def collect_hotpath(server, clients=()) -> HotPathMetrics:
         extract_cache_misses=stats.extract_cache_misses,
         fastpath_hits=stats.fastpath_hits,
         fastpath_misses=stats.fastpath_misses,
+        traces_compiled=stats.traces_compiled,
+        trace_replays=stats.trace_replays,
+        trace_replay_ops=stats.trace_replay_ops,
+        trace_eligible_ops=stats.trace_eligible_ops,
+        trace_invalidations=stats.trace_invalidations,
+        trace_guard_failures=stats.trace_guard_failures,
+        trace_ranges_prechecked=stats.trace_ranges_prechecked,
+        patch_disk_hits=stats.patch_disk_hits,
+        patch_disk_writes=stats.patch_disk_writes,
         server_cycles=stats.cycles,
     )
     for client in clients:
         channel = getattr(client, "channel", client)
         stats = channel.stats
         metrics.ipc_messages += stats.messages
+        metrics.ipc_marshal_cached_calls += stats.marshal_cached_calls
         # Batched messages share one queue crossing per batch; every
         # other message paid its own — except discarded calls, which
         # were queued but never crossed at all (the client died before
@@ -377,6 +410,10 @@ def register_snapshot(registry, snapshot: SystemSnapshot) -> None:
     cache.set(hotpath.patch_hit_rate, cache="patch")
     cache.set(hotpath.extract_hit_rate, cache="extract")
     cache.set(hotpath.fastpath_hit_rate, cache="fastpath")
+    registry.gauge(
+        "guardian_trace_replay_rate",
+        "trace-eligible async ops served by specialized replay",
+    ).set(hotpath.trace_replay_rate)
     lanes = snapshot.lanes
     registry.gauge(
         "guardian_makespan_cycles", "critical path across tenant lanes",

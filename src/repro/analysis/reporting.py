@@ -118,6 +118,15 @@ def render_hotpath_report(metrics, title: str = "Hot-path caches") -> str:
         ["launch fast path", metrics.fastpath_hits,
          metrics.fastpath_misses, percent(metrics.fastpath_hit_rate)],
     ]
+    if metrics.trace_eligible_ops:
+        # Replays vs interpreted-and-recorded ops: the row only appears
+        # when trace specialization actually saw traffic, so reports
+        # from trace-off runs are byte-identical to before.
+        rows.append([
+            "trace replay", metrics.trace_replay_ops,
+            metrics.trace_eligible_ops - metrics.trace_replay_ops,
+            percent(metrics.trace_replay_rate),
+        ])
     table = render_table(["cache", "hits", "misses", "hit rate"], rows,
                          title=title)
     lines = [
@@ -130,6 +139,20 @@ def render_hotpath_report(metrics, title: str = "Hot-path caches") -> str:
         f"clients {metrics.client_cycles:,.0f} = "
         f"{metrics.total_cycles:,.0f}",
     ]
+    if metrics.traces_compiled or metrics.trace_invalidations:
+        lines.insert(2, (
+            f"traces: {metrics.traces_compiled} compiled, "
+            f"{metrics.trace_replays} block replays, "
+            f"{metrics.trace_invalidations} invalidated "
+            f"({metrics.trace_guard_failures} guard failures, "
+            f"{metrics.trace_ranges_prechecked} ranges prechecked, "
+            f"{metrics.ipc_marshal_cached_calls} cached marshals)"
+        ))
+    if metrics.patch_disk_hits or metrics.patch_disk_writes:
+        lines.insert(2, (
+            f"patch disk cache: {metrics.patch_disk_hits} hits, "
+            f"{metrics.patch_disk_writes} writes"
+        ))
     if metrics.ipc_aborted_batches or metrics.ipc_discarded_calls:
         lines.insert(2, (
             f"ipc aborts: {metrics.ipc_aborted_batches} batches "

@@ -83,7 +83,17 @@ class ClusterClient(GpuBackend):
         return self._inner.channel
 
     def rebind(self, node, new_base: int) -> None:
-        """Point this client at the tenant's new home."""
+        """Point this client at the tenant's new home.
+
+        The replacement inner client gets a *fresh* IPC channel bound
+        to the destination node: its marshal shadow cursor (the
+        client-side view of a compiled trace) starts at zero, matching
+        the destination trace engine's cold start — the client cannot
+        keep claiming trace-discounted marshalling for a trace that no
+        longer exists anywhere. The old channel is aborted, not
+        flushed: anything still queued was captured by (or superseded
+        by) the migration snapshot.
+        """
         old = self._inner
         self._inner = GuardianClient(
             node.dispatch_target, self.app_id, self.max_bytes,

@@ -37,6 +37,8 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import PartitionError
 from repro.core import masks
 from repro.core.policy import FencingMode
@@ -81,6 +83,29 @@ class PartitionRecord:
             and length >= 0
             and address + length <= self.end
         )
+
+    def contains_all(self, ranges) -> bool:
+        """Is every ``(address, length)`` range inside the partition?"""
+        return all(
+            self.contains(address, length) for address, length in ranges
+        )
+
+    def contains_batch(self, starts, sizes) -> bool:
+        """Vectorized containment over parallel numpy arrays.
+
+        One sweep evaluates the same three-clause predicate
+        :meth:`contains` applies per range — lower bound, non-negative
+        length, upper bound — across the whole batch. This is the
+        trace-specialization prologue's one-shot bounds check
+        (``enable_vectorized_bounds``): the per-range predicate stays
+        the flat GPUArmor-style comparison; only the loop over ranges
+        is vectorized.
+        """
+        return bool(np.all(
+            (starts >= self.base)
+            & (sizes >= 0)
+            & (starts + sizes <= self.end)
+        ))
 
     def extra_param_values(self, mode: FencingMode) -> list[int]:
         """The values for ``mode``'s extra kernel parameters, in the

@@ -82,6 +82,14 @@ class GuardianClient(GpuBackend):
         """The server's telemetry spine (None with the knob off)."""
         return self.channel.telemetry
 
+    @property
+    def trace_engine(self):
+        """The server's trace-specialization engine (None with
+        ``enable_trace_specialization`` off). Exposed for tests and
+        metrics; the channel already consults it directly to marshal
+        trace-matching calls at the discounted rate."""
+        return self.channel._trace_engine
+
     def _call(self, method: str, *args, payload_bytes: int = 0,
               sync: bool = True):
         if self.crashed:

@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ChannelClosedError, IPCError
+from repro.core.tracecache import signature_of
 
 
 @dataclass(frozen=True)
@@ -51,6 +52,11 @@ class IPCCostModel:
 
     roundtrip: int = 1_400
     marshal: int = 150
+    #: Marshalling a call whose shape the server's compiled trace
+    #: already pinned: the argument layout is pre-agreed between both
+    #: ends, so the client stages the payload and bumps a command
+    #: cursor instead of serialising the full argument tuple.
+    marshal_cached: int = 40
     bytes_per_cycle: int = 8
 
     def payload_cycles(self, payload_bytes: int) -> int:
@@ -77,6 +83,9 @@ class IPCStats:
     #: fault-gauntlet runs can separate delivered from aborted batching.
     discarded_calls: int = 0
     aborted_batches: int = 0
+    #: Batched calls marshalled at the ``marshal_cached`` rate because
+    #: they matched the server's active specialized trace in sequence.
+    marshal_cached_calls: int = 0
 
     @property
     def total_cycles(self) -> float:
@@ -135,6 +144,16 @@ class IPCChannel:
         # None keeps every path below bit-identical to the stock
         # channel — the telemetry-off guarantee.
         self.telemetry = getattr(target, "telemetry", None)
+        # The server's trace engine, if trace specialization is on
+        # (again resolved through a supervising wrapper). The channel
+        # keeps a *shadow cursor* over the compiled block's signature —
+        # the simulator's stand-in for the server publishing the
+        # compiled command layout into the shared segment — so calls
+        # matching the trace in sequence marshal at the cheap
+        # ``marshal_cached`` rate. None (knob off) leaves marshalling
+        # bit-identical to the stock channel.
+        self._trace_engine = getattr(target, "trace_engine", None)
+        self._trace_cursor = 0
 
     def call(self, method: str, *args, payload_bytes: int = 0,
              sync: bool = True):
@@ -162,6 +181,13 @@ class IPCChannel:
         # A synchronous call is an ordering point: everything queued
         # before it must reach the server first (per-channel FIFO).
         self.flush()
+        if method == "synchronize":
+            # Sync is the trace block boundary on the server side too;
+            # the shadow cursor rewinds with it. Other synchronous
+            # calls (mallocs, D2H reads) interleave with a block
+            # without disturbing its recorded async sequence, so they
+            # leave the cursor alone.
+            self._trace_cursor = 0
         transport = self.costs.marshal + self.costs.payload_cycles(
             payload_bytes
         )
@@ -272,9 +298,8 @@ class IPCChannel:
         # round-trip half is paid once per batch at flush time.
         self.stats.messages += 1
         self.stats.payload_bytes += payload_bytes
-        marshal = (
-            self.costs.marshal + self.costs.payload_cycles(payload_bytes)
-        )
+        per_call = self._marshal_cost(method, args)
+        marshal = per_call + self.costs.payload_cycles(payload_bytes)
         self.stats.client_cycles += marshal
         queued = _QueuedCall(method, args, payload_bytes)
         telemetry = self.telemetry
@@ -288,6 +313,35 @@ class IPCChannel:
         if len(self._queue) >= self.max_batch:
             self.flush()
         return None
+
+    def _marshal_cost(self, method: str, args: tuple) -> int:
+        """Per-call marshalling cost, trace-discounted when possible.
+
+        While the server holds a compiled trace for this tenant, the
+        shadow cursor walks the compiled block's signature sequence; a
+        call matching the expected next signature marshals at
+        ``marshal_cached``. Any deviation parks the cursor past the end
+        of the block — no further discounts — until the next
+        ``synchronize`` rewinds it, mirroring how the server-side trace
+        drops on deviation and re-records.
+        """
+        engine = self._trace_engine
+        if engine is None:
+            return self.costs.marshal
+        signature = engine.active_signature(self.app_id)
+        if signature is None:
+            self._trace_cursor = 0
+            return self.costs.marshal
+        cursor = self._trace_cursor
+        if cursor >= len(signature):
+            return self.costs.marshal
+        expected = signature_of(method, args)
+        if expected is None or expected != signature[cursor]:
+            self._trace_cursor = len(signature)
+            return self.costs.marshal
+        self._trace_cursor = cursor + 1
+        self.stats.marshal_cached_calls += 1
+        return self.costs.marshal_cached
 
     def _dispatch(self, method: str, args: tuple,
                   trace_id: int | None = None):

@@ -42,7 +42,11 @@ state of a predicated-off access.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
+import json
+import os
+import tempfile
 import threading
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -205,11 +209,159 @@ class ThreadSafePatchCache(PatchCache):
             return super().__contains__(key)
 
 
+#: Bump when the on-disk entry layout (or anything baked into a cached
+#: patched text, e.g. the patcher's instrumentation sequences) changes
+#: incompatibly. The version is part of every entry's file name, so old
+#: and new processes never read each other's entries — stale versions
+#: are simply never probed again and can be garbage-collected offline.
+DISK_FORMAT_VERSION = 1
+
+
+class DiskPatchCache(ThreadSafePatchCache):
+    """A patch cache persisted to a content-addressed on-disk store.
+
+    The in-memory LRU (inherited) stays the first-level cache; misses
+    fall through to ``directory``, where each entry lives in its own
+    file named ``{sha256(text)}-{mode}-v{DISK_FORMAT_VERSION}.json``.
+    Because the key is the *content* hash, entries written by one
+    server process are valid for every other process (and node) that
+    patches the same library text in the same fencing mode — cold-start
+    patch cost amortizes across the fleet, not just across tenants.
+
+    Durability rules:
+
+    - **atomic writes** — entries are serialised to a temp file in the
+      same directory and ``os.replace``d into place, so readers never
+      observe a torn entry and concurrent writers of the same key
+      settle on one complete file;
+    - **versioned keys** — ``DISK_FORMAT_VERSION`` is part of the file
+      name, so a format change is an automatic cold start rather than
+      a parse error;
+    - **corrupt entries are misses** — any unreadable/undecodable file
+      is ignored (counted in ``disk_misses``); the patcher simply runs
+      and the next ``put`` rewrites the entry.
+
+    Thread safety comes from the inherited mutex: every probe/insert —
+    including the disk round-trip — runs under it, which also keeps the
+    ``disk_*`` counters exact for the server's stats diffs.
+    """
+
+    def __init__(self, directory: str, capacity: int = 64):
+        super().__init__(capacity)
+        self.directory = os.path.expanduser(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        #: Probes answered from disk (after an in-memory miss).
+        self.disk_hits = 0
+        #: Probes that missed both tiers (or hit a corrupt file).
+        self.disk_misses = 0
+        #: Entries written (or rewritten) to disk.
+        self.disk_writes = 0
+
+    def _path_for(self, key: tuple[str, FencingMode]) -> str:
+        digest, mode = key
+        return os.path.join(
+            self.directory,
+            f"{digest}-{mode.value}-v{DISK_FORMAT_VERSION}.json",
+        )
+
+    # -- probe/insert -------------------------------------------------------
+
+    def get(self, ptx_text: str, mode: FencingMode
+            ) -> tuple[str, list[PatchReport]] | None:
+        entry, _ = self.get_with_source(ptx_text, mode)
+        return entry
+
+    def get_with_source(self, ptx_text: str, mode: FencingMode
+                        ) -> tuple[
+                            tuple[str, list[PatchReport]] | None,
+                            str | None,
+                        ]:
+        """Probe both tiers; returns ``(entry, "memory"|"disk"|None)``.
+
+        A disk hit is promoted into the in-memory LRU so the next probe
+        for the same content is a memory hit.
+        """
+        with self._mutex:
+            entry = PatchCache.get(self, ptx_text, mode)
+            if entry is not None:
+                return entry, "memory"
+            key = self.key_for(ptx_text, mode)
+            entry = self._load(self._path_for(key), mode)
+            if entry is None:
+                self.disk_misses += 1
+                return None, None
+            self.disk_hits += 1
+            PatchCache.put(self, ptx_text, mode, entry[0], entry[1])
+            return entry, "disk"
+
+    def put(self, ptx_text: str, mode: FencingMode,
+            patched_text: str, reports: list[PatchReport]) -> int:
+        with self._mutex:
+            evicted = PatchCache.put(
+                self, ptx_text, mode, patched_text, reports
+            )
+            key = self.key_for(ptx_text, mode)
+            self._store(self._path_for(key), patched_text, reports)
+            self.disk_writes += 1
+            return evicted
+
+    # -- serialisation ------------------------------------------------------
+
+    def _store(self, path: str, patched_text: str,
+               reports: list[PatchReport]) -> None:
+        serialised = []
+        for report in reports:
+            record = dataclasses.asdict(report)
+            record["mode"] = report.mode.value
+            serialised.append(record)
+        payload = json.dumps({
+            "version": DISK_FORMAT_VERSION,
+            "patched_text": patched_text,
+            "reports": serialised,
+        })
+        handle, temp_path = tempfile.mkstemp(
+            dir=self.directory, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(payload)
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _load(path: str, mode: FencingMode
+              ) -> tuple[str, list[PatchReport]] | None:
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                payload = json.load(stream)
+            if payload.get("version") != DISK_FORMAT_VERSION:
+                return None
+            patched_text = payload["patched_text"]
+            if not isinstance(patched_text, str):
+                return None
+            reports = []
+            for record in payload["reports"]:
+                record = dict(record)
+                record["mode"] = FencingMode(record["mode"])
+                reports.append(PatchReport(**record))
+            return patched_text, reports
+        except (OSError, ValueError, TypeError, KeyError):
+            # Missing, torn, corrupt, or future-format file: a miss.
+            return None
+
+
 @dataclass(frozen=True)
 class PatchOutcome:
     """One text's trip through the parallel patch front-end.
 
-    ``source`` is one of ``"hit"`` (already cached), ``"join"``
+    ``source`` is one of ``"hit"`` (already in the in-memory cache),
+    ``"disk"`` (missed memory but found in a :class:`DiskPatchCache`'s
+    on-disk store — charged as a disk lookup, not a patch), ``"join"``
     (another worker was patching the same content hash; we waited on
     its result — no second patch ran, no second patch is charged) or
     ``"patched"`` (this call ran the patcher).
@@ -266,10 +418,17 @@ class ParallelPatcher:
                 self.patches_run += 1
             return PatchOutcome(patched_text, reports, "patched")
         key = PatchCache.key_for(ptx_text, self.patcher.mode)
+        probe = getattr(self.cache, "get_with_source", None)
         with self._mutex:
-            cached = self.cache.get(ptx_text, self.patcher.mode)
-            if cached is not None:
-                return PatchOutcome(cached[0], cached[1], "hit")
+            if probe is not None:
+                cached, tier = probe(ptx_text, self.patcher.mode)
+                if cached is not None:
+                    source = "hit" if tier == "memory" else "disk"
+                    return PatchOutcome(cached[0], cached[1], source)
+            else:
+                cached = self.cache.get(ptx_text, self.patcher.mode)
+                if cached is not None:
+                    return PatchOutcome(cached[0], cached[1], "hit")
             pending = self._inflight.get(key)
             if pending is None:
                 pending = Future()

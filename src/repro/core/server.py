@@ -59,11 +59,19 @@ from repro.errors import (
 )
 from repro.core.allocator import GuardianAllocator
 from repro.core.patcher import (
+    DiskPatchCache,
     ParallelPatcher,
     PatchCache,
     PatchReport,
     PTXPatcher,
     ThreadSafePatchCache,
+)
+from repro.core.tracecache import (
+    TraceEngine,
+    d2d_signature,
+    h2d_signature,
+    launch_signature,
+    memset_signature,
 )
 from repro.core.policy import FencingMode, lane_scheduling_policy
 from repro.driver.api import DriverAPI
@@ -103,6 +111,23 @@ class ServerCostModel:
     #: ``cuobjdump`` extraction of one fatBIN, and the memoised probe.
     extract: int = 40_000
     extract_lookup: int = 400
+    #: Disk-backed patch-cache probe that found the patched text on
+    #: disk: open + read + json decode of a content-addressed file —
+    #: far above a dict hit, far below a re-patch.
+    patch_disk_lookup: int = 25_000
+    #: Trace specialization (repro.core.tracecache, DESIGN.md §12).
+    #: One guard-set evaluation per replayed block; one batched submit
+    #: syscall per block (the CUDA-Graphs analogue — it replaces every
+    #: per-launch ``launch_syscall`` in the block); one command-buffer
+    #: cursor bump + payload pointer patch per replayed op.
+    trace_guard: int = 300
+    trace_submit: int = 9_000
+    trace_replay_op: int = 60
+    #: Vectorized bounds prologue: one numpy sweep over a block's
+    #: transfer ranges (fixed setup + a few cycles per range) instead
+    #: of one flat ``transfer_check`` per range.
+    vector_check_base: int = 120
+    vector_check_per_range: int = 4
     #: The ordinary driver work the server performs on behalf of the
     #: tenant (same costs the native backend pays directly).
     driver: DriverCostModel = DriverCostModel()
@@ -153,6 +178,21 @@ class ServerConfig:
       bit-identical with the knob on or off — the stock default stays
       the paper's numbers *and* so does the instrumented run.
       ``telemetry_capacity`` bounds the span ring buffer.
+    - ``enable_trace_specialization``: record a tenant's steady-state
+      sync-to-sync call sequence and, once it repeats
+      ``trace_hot_threshold`` consecutive times, replay it as one
+      guarded fused block (:mod:`repro.core.tracecache`, DESIGN.md
+      §12). Any guard failure or epoch bump falls back to the
+      interpreted path bit-identically. ``trace_max_ops`` bounds how
+      long a block the recorder will consider.
+    - ``enable_vectorized_bounds``: range-check a replayed block's
+      pre-validated transfer ranges in one numpy sweep at block entry
+      instead of one flat check per op (only consulted by the trace
+      replay path — the interpreted path's checks are untouched).
+    - ``patch_cache_dir``: back the content-addressed patch cache with
+      an on-disk store (atomic writes, versioned keys) so cold-start
+      patch cost amortizes across server processes. Implies the patch
+      cache. ``None`` (default) keeps the cache memory-only.
     """
 
     enable_patch_cache: bool = False
@@ -167,6 +207,11 @@ class ServerConfig:
     coalesce_transfer_checks: bool = False
     telemetry: bool = False
     telemetry_capacity: int = 65_536
+    enable_trace_specialization: bool = False
+    trace_hot_threshold: int = 2
+    trace_max_ops: int = 512
+    enable_vectorized_bounds: bool = False
+    patch_cache_dir: Optional[str] = None
 
     @classmethod
     def hotpath(cls, **overrides) -> "ServerConfig":
@@ -188,6 +233,20 @@ class ServerConfig:
             enable_ipc_batching=True,
             concurrency=True,
             coalesce_transfer_checks=True,
+        )
+        values.update(overrides)
+        return cls(**values)
+
+    @classmethod
+    def traced(cls, **overrides) -> "ServerConfig":
+        """Every hot-path cache plus steady-state trace specialization
+        and the vectorized bounds prologue."""
+        values = dict(
+            enable_patch_cache=True,
+            enable_launch_fast_path=True,
+            enable_ipc_batching=True,
+            enable_trace_specialization=True,
+            enable_vectorized_bounds=True,
         )
         values.update(overrides)
         return cls(**values)
@@ -227,6 +286,17 @@ class ServerStats:
     checks_coalesced: int = 0
     patch_inflight_joins: int = 0
     lanes_retired: int = 0
+    # Trace-specialization counters (zero unless the knob is on).
+    traces_compiled: int = 0
+    trace_replays: int = 0
+    trace_replay_ops: int = 0
+    trace_eligible_ops: int = 0
+    trace_invalidations: int = 0
+    trace_guard_failures: int = 0
+    trace_ranges_prechecked: int = 0
+    # Disk patch-cache counters (zero unless patch_cache_dir is set).
+    patch_disk_hits: int = 0
+    patch_disk_writes: int = 0
 
 
 @dataclass(frozen=True)
@@ -360,16 +430,37 @@ class GuardianServer:
             device.telemetry = self.telemetry
         # Hot-path caches (None = knob off, seed behaviour). In
         # concurrency mode the cache is the thread-safe variant because
-        # the patch pool's workers share it.
-        cache_class = (
-            ThreadSafePatchCache if self.config.concurrency else PatchCache
+        # the patch pool's workers share it; a configured
+        # ``patch_cache_dir`` backs the cache with the on-disk store
+        # (itself lock-protected, so it serves both modes) and implies
+        # the cache even if ``enable_patch_cache`` wasn't set.
+        patch_caching = (
+            self.config.enable_patch_cache
+            or self.config.patch_cache_dir is not None
         )
-        self._patch_cache: Optional[PatchCache] = (
-            cache_class(self.config.patch_cache_capacity)
-            if self.config.enable_patch_cache else None
-        )
+        if not patch_caching:
+            self._patch_cache: Optional[PatchCache] = None
+        elif self.config.patch_cache_dir is not None:
+            self._patch_cache = DiskPatchCache(
+                self.config.patch_cache_dir,
+                self.config.patch_cache_capacity,
+            )
+        elif self.config.concurrency:
+            self._patch_cache = ThreadSafePatchCache(
+                self.config.patch_cache_capacity
+            )
+        else:
+            self._patch_cache = PatchCache(self.config.patch_cache_capacity)
         self._extract_cache: Optional[dict] = (
-            {} if self.config.enable_patch_cache else None
+            {} if patch_caching else None
+        )
+        # The trace-specialization engine (None = knob off). Exposed as
+        # a public attribute so the IPC channel — possibly through a
+        # supervising wrapper's attribute fall-through — can drive its
+        # client-side marshal shadow cursor off the active trace.
+        self.trace_engine: Optional[TraceEngine] = (
+            TraceEngine(self)
+            if self.config.enable_trace_specialization else None
         )
         self._clock_ratio = device.spec.clock_ghz / CPU_GHZ
         # Concurrent-dispatch state (inert while the knob is off).
@@ -426,6 +517,10 @@ class GuardianServer:
         if app_id in self._tenants:
             raise GuardianError(f"app {app_id!r} already attached")
         self.allocator.create_partition(app_id, max_bytes)
+        if self.trace_engine is not None:
+            # A re-used app name starts its trace life cold; nothing
+            # recorded by a previous incarnation may replay.
+            self.trace_engine.forget(app_id)
         tenant = _Tenant(
             app_id=app_id,
             stream=self.driver.cuStreamCreate(self.context),
@@ -446,6 +541,8 @@ class GuardianServer:
         """Tear a tenant down: drain and destroy its stream, drop its
         module/function handles, release its partition."""
         self._enter(app_id)
+        if self.trace_engine is not None:
+            self.trace_engine.forget(app_id)
         tenant = self._tenants.pop(app_id, None)
         if tenant is not None:
             # Submitted work keeps its functional effects (the deferred
@@ -474,6 +571,11 @@ class GuardianServer:
         """
         self._enter(app_id)
         self._tenant(app_id)  # must be attached
+        if self.trace_engine is not None:
+            # Eager: the grow bumps the bounds epoch, so anything
+            # recorded or compiled against the old record is stale now,
+            # not merely at the next block entry's guard check.
+            self.trace_engine.invalidate(app_id)
         partition = self.allocator.grow_partition(app_id, new_max_bytes)
         # A grow rewrites the tenant's bounds record — a serialization
         # point every lane must order against.
@@ -512,6 +614,12 @@ class GuardianServer:
     def memcpy_h2d(self, app_id: str, dst: int, data: bytes,
                    stream_id: int = 0):
         self._enter(app_id)
+        if self.trace_engine is not None:
+            replayed = self.trace_engine.offer(
+                app_id, h2d_signature(dst, len(data)), payload=data
+            )
+            if replayed is not None:
+                return replayed
         record = self.allocator.bounds.read(app_id)
         cycles = self._check_range(app_id, record, dst, len(data),
                                    "H2D destination", run="h2d")
@@ -536,6 +644,12 @@ class GuardianServer:
     def memcpy_d2d(self, app_id: str, dst: int, src: int, size: int,
                    stream_id: int = 0):
         self._enter(app_id)
+        if self.trace_engine is not None:
+            replayed = self.trace_engine.offer(
+                app_id, d2d_signature(dst, src, size)
+            )
+            if replayed is not None:
+                return replayed
         record = self.allocator.bounds.read(app_id)
         cycles = self._check_range(app_id, record, src, size, "D2D source",
                                    run="d2d:src")
@@ -550,6 +664,12 @@ class GuardianServer:
     def memset(self, app_id: str, dst: int, value: int, size: int,
                stream_id: int = 0):
         self._enter(app_id)
+        if self.trace_engine is not None:
+            replayed = self.trace_engine.offer(
+                app_id, memset_signature(dst, value, size)
+            )
+            if replayed is not None:
+                return replayed
         record = self.allocator.bounds.read(app_id)
         cycles = self._check_range(app_id, record, dst, size,
                                    "memset destination", run="memset")
@@ -671,16 +791,34 @@ class GuardianServer:
         if self._parallel_patcher is not None:
             return self._patch_one_pooled(ptx_text)
         if self._patch_cache is not None:
-            cached = self._patch_cache.get(ptx_text, self.mode)
+            probe = getattr(self._patch_cache, "get_with_source", None)
+            if probe is not None:
+                cached, tier = probe(ptx_text, self.mode)
+            else:
+                cached, tier = (
+                    self._patch_cache.get(ptx_text, self.mode), "memory"
+                )
             if cached is not None:
                 self.stats.patch_cache_hits += 1
                 patched_text, reports = cached
+                if tier == "disk":
+                    # Found in the persistent store: charged as a disk
+                    # lookup (deserialize + promote), still far cheaper
+                    # than a parse+patch pass.
+                    self.stats.patch_disk_hits += 1
+                    return patched_text, reports, self._patch_charge(
+                        self.costs.patch_disk_lookup
+                    )
                 return patched_text, reports, self._patch_charge(
                     self.costs.patch_lookup
                 )
             patched_text, reports = self.patcher.patch_text(ptx_text)
+            writes_before = getattr(self._patch_cache, "disk_writes", 0)
             self.stats.patch_cache_evictions += self._patch_cache.put(
                 ptx_text, self.mode, patched_text, reports
+            )
+            self.stats.patch_disk_writes += (
+                getattr(self._patch_cache, "disk_writes", 0) - writes_before
             )
             self.stats.patch_cache_misses += 1
             return patched_text, reports, self._patch_charge(
@@ -698,9 +836,13 @@ class GuardianServer:
         somewhere, and only that one is charged a ``patch_module``."""
         patcher = self._parallel_patcher
         evictions_before = patcher.evictions
+        writes_before = getattr(self._patch_cache, "disk_writes", 0)
         outcome = patcher.patch(ptx_text)
         self.stats.patch_cache_evictions += (
             patcher.evictions - evictions_before
+        )
+        self.stats.patch_disk_writes += (
+            getattr(self._patch_cache, "disk_writes", 0) - writes_before
         )
         if outcome.source == "patched":
             if self._patch_cache is not None:
@@ -708,6 +850,10 @@ class GuardianServer:
             charged = self._patch_charge(
                 self.costs.patch_module, critical=True
             )
+        elif outcome.source == "disk":
+            self.stats.patch_cache_hits += 1
+            self.stats.patch_disk_hits += 1
+            charged = self._patch_charge(self.costs.patch_disk_lookup)
         else:
             self.stats.patch_cache_hits += 1
             if outcome.source == "join":
@@ -737,17 +883,26 @@ class GuardianServer:
                 charged += cycles
             return results, charged
         evictions_before = patcher.evictions
+        writes_before = getattr(self._patch_cache, "disk_writes", 0)
         outcomes = patcher.patch_many(ptx_texts)
         self.stats.patch_cache_evictions += (
             patcher.evictions - evictions_before
         )
+        self.stats.patch_disk_writes += (
+            getattr(self._patch_cache, "disk_writes", 0) - writes_before
+        )
         hits = 0
+        disk_hits = 0
         cold = 0
         for outcome in outcomes:
             if outcome.source == "patched":
                 cold += 1
                 if self._patch_cache is not None:
                     self.stats.patch_cache_misses += 1
+            elif outcome.source == "disk":
+                disk_hits += 1
+                self.stats.patch_cache_hits += 1
+                self.stats.patch_disk_hits += 1
             else:
                 hits += 1
                 self.stats.patch_cache_hits += 1
@@ -756,6 +911,10 @@ class GuardianServer:
         charged = 0.0
         if hits:
             charged += self._patch_charge(self.costs.patch_lookup * hits)
+        if disk_hits:
+            charged += self._patch_charge(
+                self.costs.patch_disk_lookup * disk_hits
+            )
         if cold:
             rounds = -(-cold // patcher.workers)
             charged += self._patch_charge(
@@ -840,6 +999,12 @@ class GuardianServer:
         self._enter(app_id)
         tenant = self._tenant(app_id)
         self._raise_if_wedged(tenant)
+        if self.trace_engine is not None:
+            replayed = self.trace_engine.offer(
+                app_id, launch_signature(handle, grid, block, params)
+            )
+            if replayed is not None:
+                return replayed
         pair = tenant.functions.get(handle)
         if pair is None:
             raise LaunchError(
@@ -937,6 +1102,11 @@ class GuardianServer:
         self._enter(app_id)
         tenant = self._tenant(app_id)
         self._raise_if_wedged(tenant)
+        if self.trace_engine is not None:
+            # Sync delimits trace blocks: closes the recorder's current
+            # block (compiling it once stable) or rewinds a fully
+            # replayed one.
+            self.trace_engine.block_boundary(app_id)
         self.stats.syncs += 1
         self.stats.sync_drained_tasks += self.driver.cuStreamSynchronize(
             tenant.stream
@@ -1007,6 +1177,8 @@ class GuardianServer:
             self.device.memory.fill(base, size, 0)
             scrubbed = size
 
+        if self.trace_engine is not None:
+            self.trace_engine.forget(app_id)
         tenant = self._tenants.pop(app_id)
         self.stats.sync_drained_tasks += self.driver.cuStreamSynchronize(
             tenant.stream
@@ -1076,7 +1248,12 @@ class GuardianServer:
         record happens inside ``create_partition`` — at the new base,
         under a fresh epoch — so the first post-migration launch
         rebuilds its fencing parameters from the new record (the
-        fast-launch memo starts cold by construction). Returns the new
+        fast-launch memo starts cold by construction). The destination
+        trace engine likewise starts the tenant cold: any state a
+        same-named tenant left behind here is forgotten, and nothing
+        recorded on the source node travels in the snapshot — so a
+        specialized trace can never replay against a stale epoch,
+        stream, or base address after a migration. Returns the new
         partition base.
         """
         if snapshot.app_id in self._tenants:
@@ -1097,6 +1274,8 @@ class GuardianServer:
         partition = self.allocator.create_partition(
             snapshot.app_id, snapshot.size
         )
+        if self.trace_engine is not None:
+            self.trace_engine.forget(snapshot.app_id)
         self.device.memory.write(partition.base, snapshot.data)
         partition.heap = FirstFitAllocator.from_state(
             partition.base, partition.size,

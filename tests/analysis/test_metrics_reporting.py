@@ -254,6 +254,53 @@ class TestDenominatorGuards:
         )
         assert collect_faults(supervisor).retry_success_rate == 0.0
 
+    def test_hotpath_rates_on_zero_call_snapshot(self):
+        """Every HotPathMetrics rate is a well-defined 0.0 before the
+        first call — including the trace-replay rate, whose eligible-op
+        denominator is zero until a traced handler runs."""
+        from repro.analysis.metrics import HotPathMetrics
+
+        empty = HotPathMetrics()
+        assert empty.patch_hit_rate == 0.0
+        assert empty.extract_hit_rate == 0.0
+        assert empty.fastpath_hit_rate == 0.0
+        assert empty.trace_replay_rate == 0.0
+        assert empty.mean_batch_size == 0.0
+        assert empty.total_cycles == 0.0
+
+    def test_trace_replay_rate_before_any_dispatch(self):
+        from repro.analysis.metrics import collect_hotpath
+        from repro.core.policy import FencingMode
+        from repro.core.server import GuardianServer, ServerConfig
+        from repro.gpu.device import Device
+        from repro.gpu.specs import QUADRO_RTX_A4000
+
+        server = GuardianServer(Device(QUADRO_RTX_A4000),
+                                FencingMode.BITWISE,
+                                config=ServerConfig.traced())
+        assert collect_hotpath(server).trace_replay_rate == 0.0
+
+    def test_hotpath_report_renders_zero_call_snapshot(self):
+        """The report renders a degenerate snapshot without dividing by
+        zero, and the trace / disk-cache rows only appear once those
+        subsystems saw traffic — a trace-off report stays byte-stable."""
+        from repro.analysis.metrics import HotPathMetrics
+        from repro.analysis.reporting import render_hotpath_report
+
+        report = render_hotpath_report(HotPathMetrics())
+        assert "trace replay" not in report
+        assert "traces:" not in report
+        assert "patch disk cache" not in report
+        assert "0.0%" in report  # rates render as guarded zeros
+
+        busy = HotPathMetrics(trace_eligible_ops=10, trace_replay_ops=5,
+                              traces_compiled=1, trace_replays=2,
+                              patch_disk_hits=1, patch_disk_writes=1)
+        report = render_hotpath_report(busy)
+        assert "trace replay" in report
+        assert "traces: 1 compiled" in report
+        assert "patch disk cache: 1 hits, 1 writes" in report
+
 
 class TestCollectAll:
     def _system(self, telemetry=False):

@@ -97,3 +97,43 @@ class TestExtraParams:
         for mode in FencingMode:
             values = record.extra_param_values(mode)
             assert len(values) == len(mode.extra_params)
+
+
+class TestVectorizedContainment:
+    """``contains_batch`` is the trace prologue's one-shot numpy sweep;
+    it must agree with the scalar ``contains`` on every range."""
+
+    def _record(self):
+        table = PartitionBoundsTable()
+        return table.register("alice", BASE, 1 << 20)
+
+    def test_batch_agrees_with_scalar(self):
+        import numpy as np
+
+        record = self._record()
+        ranges = [
+            (BASE, 1),                      # first byte
+            (BASE, 1 << 20),                # whole partition
+            (BASE + (1 << 20) - 1, 1),      # last byte
+            (BASE + 4096, 256),             # interior
+        ]
+        starts = np.array([s for s, _ in ranges], dtype=np.int64)
+        sizes = np.array([n for _, n in ranges], dtype=np.int64)
+        assert record.contains_all(ranges)
+        assert record.contains_batch(starts, sizes)
+
+    def test_batch_rejects_any_violation(self):
+        import numpy as np
+
+        record = self._record()
+        bad_ranges = [
+            [(BASE, 256), (BASE - 1, 1)],             # below base
+            [(BASE, 256), (BASE + (1 << 20), 1)],     # past the end
+            [(BASE, 256), (BASE + (1 << 20) - 1, 2)], # straddles end
+            [(BASE, 256), (BASE + 16, -1)],           # negative length
+        ]
+        for ranges in bad_ranges:
+            starts = np.array([s for s, _ in ranges], dtype=np.int64)
+            sizes = np.array([n for _, n in ranges], dtype=np.int64)
+            assert not record.contains_all(ranges)
+            assert not record.contains_batch(starts, sizes)

@@ -1,0 +1,109 @@
+"""DiskPatchCache: the content-addressed on-disk patch store.
+
+Entries must be written atomically (a crashed writer never leaves a
+half-entry a later reader could trust), keyed by content + fencing mode
++ format version, and any unreadable / foreign / stale file must read
+as a miss — the worst a corrupt cache can do is cost one re-patch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core.patcher import (
+    DISK_FORMAT_VERSION,
+    DiskPatchCache,
+    PatchReport,
+)
+from repro.core.policy import FencingMode
+
+PTX = ".visible .entry saxpy() { ret; }"
+PATCHED = ".visible .entry saxpy() { /* fenced */ ret; }"
+
+
+def report() -> PatchReport:
+    return PatchReport(kernel="saxpy", mode=FencingMode.BITWISE,
+                       loads_instrumented=3, stores_instrumented=2,
+                       extra_params=2)
+
+
+def entry_path(cache: DiskPatchCache) -> str:
+    return cache._path_for(cache.key_for(PTX, FencingMode.BITWISE))
+
+
+class TestDiskPatchCache:
+    def test_put_then_memory_hit(self, tmp_path):
+        cache = DiskPatchCache(str(tmp_path))
+        cache.put(PTX, FencingMode.BITWISE, PATCHED, [report()])
+        assert cache.disk_writes == 1
+        cached, tier = cache.get_with_source(PTX, FencingMode.BITWISE)
+        assert tier == "memory"  # the LRU answers before disk
+        assert cached[0] == PATCHED
+
+    def test_filename_is_content_addressed_and_versioned(self, tmp_path):
+        cache = DiskPatchCache(str(tmp_path))
+        cache.put(PTX, FencingMode.BITWISE, PATCHED, [report()])
+        filename = os.path.basename(entry_path(cache))
+        digest, _ = cache.key_for(PTX, FencingMode.BITWISE)
+        assert filename == f"{digest}-bitwise-v{DISK_FORMAT_VERSION}.json"
+        # Atomic write: the entry is the only file (no temp leftovers).
+        assert os.listdir(tmp_path) == [filename]
+
+    def test_fresh_instance_hits_disk_and_promotes(self, tmp_path):
+        DiskPatchCache(str(tmp_path)).put(
+            PTX, FencingMode.BITWISE, PATCHED, [report()])
+        fresh = DiskPatchCache(str(tmp_path))
+        cached, tier = fresh.get_with_source(PTX, FencingMode.BITWISE)
+        assert tier == "disk"
+        assert fresh.disk_hits == 1
+        patched_text, reports = cached
+        assert patched_text == PATCHED
+        assert len(reports) == 1
+        assert reports[0] == report()  # mode round-trips the enum
+        # The disk hit promoted the entry into the memory LRU.
+        _, tier = fresh.get_with_source(PTX, FencingMode.BITWISE)
+        assert tier == "memory"
+
+    def test_mode_is_part_of_the_key(self, tmp_path):
+        cache = DiskPatchCache(str(tmp_path))
+        cache.put(PTX, FencingMode.BITWISE, PATCHED, [report()])
+        cached, tier = cache.get_with_source(PTX, FencingMode.MODULO)
+        assert cached is None and tier is None
+        assert cache.disk_misses == 1
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = DiskPatchCache(str(tmp_path))
+        cache.put(PTX, FencingMode.BITWISE, PATCHED, [report()])
+        with open(entry_path(cache), "w") as handle:
+            handle.write("{ not json")
+        fresh = DiskPatchCache(str(tmp_path))
+        cached, tier = fresh.get_with_source(PTX, FencingMode.BITWISE)
+        assert cached is None and tier is None
+        assert fresh.disk_misses == 1
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        cache = DiskPatchCache(str(tmp_path))
+        cache.put(PTX, FencingMode.BITWISE, PATCHED, [report()])
+        path = entry_path(cache)
+        payload = json.loads(open(path).read())
+        payload["version"] = DISK_FORMAT_VERSION + 1
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        fresh = DiskPatchCache(str(tmp_path))
+        cached, tier = fresh.get_with_source(PTX, FencingMode.BITWISE)
+        assert cached is None and tier is None
+
+    def test_get_without_source_still_reads_disk(self, tmp_path):
+        DiskPatchCache(str(tmp_path)).put(
+            PTX, FencingMode.BITWISE, PATCHED, [report()])
+        fresh = DiskPatchCache(str(tmp_path))
+        cached = fresh.get(PTX, FencingMode.BITWISE)
+        assert cached is not None and cached[0] == PATCHED
+
+    def test_directory_is_created_and_expanded(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        cache = DiskPatchCache(str(nested))
+        cache.put(PTX, FencingMode.BITWISE, PATCHED, [report()])
+        assert nested.is_dir()
+        assert len(os.listdir(nested)) == 1
