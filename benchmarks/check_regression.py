@@ -28,7 +28,11 @@ Reads the ``BENCH_*.json`` files the benchmark run emitted into
 - ``telemetry_overhead``: enabling the telemetry spine may not
   inflate the modelled host-cycle total past ``max_cycle_ratio``
   (the spine observes the clock, it never charges it — the measured
-  ratio is exactly 1.0 by construction).
+  ratio is exactly 1.0 by construction);
+- ``load_slo``: at the pinned open-loop operating point
+  (``utilisation`` of the modelled capacity) goodput must stay at or
+  above ``min_goodput_per_mcycle`` and the modelled session p99 at or
+  below ``max_p99_cycles`` — latency under load must not run away.
 
 A measurement missing from ``BENCH_DIR`` falls back to the committed
 ``benchmarks/trajectory/`` snapshot (the last numbers a maintainer
@@ -188,17 +192,68 @@ def check_telemetry(bench_dir: Path, baseline: dict) -> int:
     return 0
 
 
+def check_load_slo(bench_dir: Path, baseline: dict) -> int:
+    measured = load_bench(bench_dir, "load_slo")
+    if measured is None:
+        return fail("BENCH_load_slo.json was not emitted and no "
+                    "trajectory snapshot exists")
+    point = measured["operating_point"]
+    if point["utilisation"] != baseline["utilisation"]:
+        return fail(
+            f"load_slo operating point moved: measured at utilisation "
+            f"{point['utilisation']}, gate is pinned at "
+            f"{baseline['utilisation']}"
+        )
+    goodput = point["goodput_per_mcycle"]
+    p99 = point["p99_cycles"]
+    floor = baseline["min_goodput_per_mcycle"]
+    ceiling = baseline["max_p99_cycles"]
+    print(f"load_slo: utilisation {point['utilisation']} goodput "
+          f"{goodput:.3f}/Mcycle (floor {floor:.3f}), p99 "
+          f"{p99:,.0f} cycles (ceiling {ceiling:,.0f})")
+    status = 0
+    if goodput < floor:
+        status = fail(
+            f"open-loop goodput {goodput:.3f}/Mcycle fell below the "
+            f"{floor:.3f} floor at utilisation {point['utilisation']}"
+        )
+    if p99 > ceiling:
+        status = fail(
+            f"open-loop session p99 {p99:,.0f} cycles exceeds the "
+            f"{ceiling:,.0f} ceiling at utilisation "
+            f"{point['utilisation']}"
+        )
+    return status
+
+
+#: Every gate, next to the baseline section it reads. A section
+#: missing from bench_baseline.json is reported by name up front
+#: instead of surfacing as a bare KeyError mid-run.
+CHECKS = (
+    ("hotpath_caching", check_hotpath),
+    ("trace_specialization", check_trace_specialization),
+    ("table5_interception", check_table5),
+    ("multitenant_scaling", check_multitenant),
+    ("cluster_migration", check_cluster),
+    ("telemetry_overhead", check_telemetry),
+    ("load_slo", check_load_slo),
+)
+
+
 def main(argv: list[str]) -> int:
     bench_dir = Path(argv[1]) if len(argv) > 1 else Path(".")
     baseline = json.loads(BASELINE.read_text())
-    status = check_hotpath(bench_dir, baseline["hotpath_caching"])
-    status |= check_trace_specialization(
-        bench_dir, baseline["trace_specialization"]
-    )
-    status |= check_table5(bench_dir, baseline["table5_interception"])
-    status |= check_multitenant(bench_dir, baseline["multitenant_scaling"])
-    status |= check_cluster(bench_dir, baseline["cluster_migration"])
-    status |= check_telemetry(bench_dir, baseline["telemetry_overhead"])
+    missing = [section for section, _ in CHECKS
+               if section not in baseline]
+    if missing:
+        return fail(
+            f"bench_baseline.json is missing the baseline section(s) "
+            f"{', '.join(missing)} — every gate needs its thresholds "
+            f"recorded ({BASELINE})"
+        )
+    status = 0
+    for section, check in CHECKS:
+        status |= check(bench_dir, baseline[section])
     if not status:
         print("benchmark smoke: no regressions")
     return status

@@ -331,6 +331,52 @@ def render_telemetry_report(snapshot: dict,
     return "\n\n".join(lines)
 
 
+def render_slo_report(grades: dict,
+                      title: str = "Latency under load") -> str:
+    """Render :func:`repro.loadgen.slo.evaluate_slo` output.
+
+    One row per SLO class — offered/completed/shed counts, the p50,
+    p99 and p999 modelled session latency against the class target,
+    goodput and shed rate — then the overall line. Guarded metrics
+    that evaluated to ``None`` render as ``n/a``.
+    """
+    def cell(value, fmt: str = ",.0f") -> str:
+        return "n/a" if value is None else format(value, fmt)
+
+    rows = []
+    for name, grade in sorted(grades["classes"].items()):
+        rows.append([
+            name, grade["offered"], grade["completed"], grade["shed"],
+            grade["rejected"],
+            cell(grade["p50"]), cell(grade["p99"]),
+            cell(grade["p999"]),
+            cell(grade["slo_p99_cycles"]),
+            cell(grade["goodput_per_mcycle"], ".3f"),
+            cell(grade["shed_rate"], ".3f"),
+            cell(grade["time_above_slo"], ".3f"),
+        ])
+    table = render_table(
+        ["class", "offered", "done", "shed", "rej", "p50", "p99",
+         "p999", "slo p99", "goodput/Mcy", "shed rate", "above slo"],
+        rows, title=title,
+    )
+    overall = grades["overall"]
+    lines = [
+        table,
+        f"overall: {overall['completed']}/{overall['offered']} "
+        f"completed ({overall['compliant']} within SLO) over "
+        f"{overall['horizon_cycles']:,.0f} virtual cycles; "
+        f"goodput {cell(overall['goodput_per_mcycle'], '.3f')}/Mcycle, "
+        f"shed rate {cell(overall['shed_rate'], '.3f')}",
+    ]
+    if overall.get("capacity_peak") is not None:
+        lines.append(
+            f"capacity: final {overall['capacity_final']} lanes, "
+            f"peak {overall['capacity_peak']}"
+        )
+    return "\n".join(lines)
+
+
 def _quantity(value) -> str:
     """Compact numeric cell: thousands-grouped, '-' for absent."""
     if value is None:

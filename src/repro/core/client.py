@@ -47,6 +47,8 @@ class GuardianClient(GpuBackend):
         ipc_costs: Optional[IPCCostModel] = None,
         batching: Optional[bool] = None,
         max_batch: Optional[int] = None,
+        queue_limit: Optional[int] = None,
+        shed_overflow: Optional[bool] = None,
         fault_plan: Optional[FaultPlan] = None,
         attach: bool = True,
     ):
@@ -63,8 +65,14 @@ class GuardianClient(GpuBackend):
             batching = server.config.enable_ipc_batching
         if max_batch is None:
             max_batch = server.config.ipc_max_batch
+        if queue_limit is None:
+            queue_limit = server.config.ipc_queue_limit
+        if shed_overflow is None:
+            shed_overflow = server.config.ipc_shed_overflow
         self.channel = IPCChannel(server, app_id, costs=ipc_costs,
-                                  batching=batching, max_batch=max_batch)
+                                  batching=batching, max_batch=max_batch,
+                                  queue_limit=queue_limit,
+                                  shed_overflow=shed_overflow)
         self.profile = BackendProfile()
         self._spec = None
         self._export_tables = None

@@ -31,13 +31,26 @@ errors for batched operations surface at the flush point — the same
 deferred-error semantics real asynchronous CUDA submission has. With
 ``batching=False`` (the default) the channel is cycle-for-cycle
 identical to the unbatched model the paper's figures assume.
+
+**Bounded queue + shedding** (opt-in, ``queue_limit``): real command
+queues are finite; an unbounded client-side batch hides overload
+instead of surfacing it. With ``queue_limit`` set, an asynchronous
+call that arrives while the queue already holds ``queue_limit``
+entries hits the overflow policy: the default (``shed_overflow=False``)
+*flushes* — the caller pays the queue-crossing now, which is exactly
+the stall-the-producer backpressure a full hardware ring exerts —
+while ``shed_overflow=True`` *sheds* the call
+(:class:`~repro.errors.QueueSaturated`, counted in
+``IPCStats.shed_calls``; nothing reaches the server). With
+``queue_limit=None`` (the default) both paths are dead code and the
+channel stays bit-identical to the unbounded model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ChannelClosedError, IPCError
+from repro.errors import ChannelClosedError, IPCError, QueueSaturated
 from repro.core.tracecache import signature_of
 
 
@@ -86,6 +99,11 @@ class IPCStats:
     #: Batched calls marshalled at the ``marshal_cached`` rate because
     #: they matched the server's active specialized trace in sequence.
     marshal_cached_calls: int = 0
+    #: Bounded-queue backpressure (zero with ``queue_limit`` unset):
+    #: calls shed at a saturated queue, and flushes forced by the
+    #: overflow policy rather than a full batch / an ordering point.
+    shed_calls: int = 0
+    overflow_flushes: int = 0
 
     @property
     def total_cycles(self) -> float:
@@ -128,14 +146,20 @@ class IPCChannel:
     def __init__(self, target, app_id: str,
                  costs: IPCCostModel | None = None,
                  batching: bool = False,
-                 max_batch: int = 64):
+                 max_batch: int = 64,
+                 queue_limit: int | None = None,
+                 shed_overflow: bool = False):
         if max_batch < 1:
             raise IPCError(f"bad max_batch {max_batch}")
+        if queue_limit is not None and queue_limit < 1:
+            raise IPCError(f"bad queue_limit {queue_limit}")
         self._target = target
         self.app_id = app_id
         self.costs = costs or IPCCostModel()
         self.batching = batching
         self.max_batch = max_batch
+        self.queue_limit = queue_limit
+        self.shed_overflow = shed_overflow
         self.stats = IPCStats()
         self._queue: list[_QueuedCall] = []
         self._closed = False
@@ -293,6 +317,18 @@ class IPCChannel:
     # -- internals ---------------------------------------------------------------
 
     def _enqueue(self, method: str, args: tuple, payload_bytes: int):
+        # Bounded queue: a call arriving at a full queue either sheds
+        # (it never marshals, never reaches the server) or forces an
+        # early flush — the producer stalls on the queue crossing, the
+        # classic full-ring backpressure. The shed check runs before
+        # any charging so a shed call is cycle-free on both sides.
+        if (self.queue_limit is not None
+                and len(self._queue) >= self.queue_limit):
+            if self.shed_overflow:
+                self.stats.shed_calls += 1
+                raise QueueSaturated(self.app_id, method, self.queue_limit)
+            self.stats.overflow_flushes += 1
+            self.flush()
         # Stage the payload into the shared segment now (the caller may
         # reuse its buffer) and pay the per-call marshalling; the
         # round-trip half is paid once per batch at flush time.

@@ -1,6 +1,6 @@
-"""Bounds-enforcement and lane-scheduling policies.
+"""Bounds-enforcement, lane-scheduling, and autoscaling policies.
 
-Two pluggable policy families live here:
+Three pluggable policy families live here:
 
 1. **Bounds enforcement** (:class:`FencingMode`, the paper's §4.4
    trade-off space) — which sandboxing scheme the patcher/server apply.
@@ -9,6 +9,11 @@ Two pluggable policy families live here:
    DESIGN.md §7), which tenant's lane advances first at each
    serialization point (the shared critical section guarding
    bounds-table writes, allocator mutations and patch-cache misses).
+3. **Lane autoscaling** (:class:`AutoscalePolicy`) — the SLO control
+   loop's decision point (DESIGN.md §13): given a class's windowed
+   quantiles and its SLO target, widen, narrow, or hold the service
+   capacity. Consulted by the open-loop load generator's driver at
+   each control interval; nothing in the stock server calls it.
 
 Guardian supports three bounds schemes, selectable at run time:
 
@@ -147,4 +152,86 @@ def lane_scheduling_policy(name: str) -> LaneSchedulingPolicy:
         raise ValueError(
             f"unknown lane policy {name!r}; expected one of "
             f"{sorted(_LANE_POLICIES)}"
+        ) from None
+
+
+# --------------------------------------------------------------------------
+# Lane autoscaling (SLO control loop, DESIGN.md §13)
+# --------------------------------------------------------------------------
+
+
+class AutoscalePolicy:
+    """Capacity decision at each control interval of the load driver.
+
+    ``decide`` receives the observed window (per-class dicts with at
+    least ``p99`` — modelled cycles, or ``None`` for an empty window —
+    and ``slo`` — the class's p99 target), the current capacity, and
+    the configured bounds. It returns the *new* capacity; the caller
+    clamps it into ``[min_capacity, max_capacity]``. Implementations
+    must be pure functions of their arguments so modelled runs stay
+    reproducible.
+    """
+
+    name = "base"
+
+    def decide(self, window: dict, capacity: int,
+               min_capacity: int, max_capacity: int) -> int:
+        raise NotImplementedError
+
+
+class HoldAutoscaler(AutoscalePolicy):
+    """Never changes capacity — the control loop's null hypothesis."""
+
+    name = "hold"
+
+    def decide(self, window: dict, capacity: int,
+               min_capacity: int, max_capacity: int) -> int:
+        return capacity
+
+
+class P99BreachAutoscaler(AutoscalePolicy):
+    """Widen on a p99 SLO breach, narrow when comfortably under.
+
+    If any class's windowed p99 exceeds its SLO target, add one lane.
+    If *every* class with traffic sits below ``narrow_ratio`` of its
+    target (default: half), remove one. Empty windows (``p99`` is
+    ``None``) hold — no data is not evidence of headroom.
+    """
+
+    name = "p99-breach"
+
+    def __init__(self, narrow_ratio: float = 0.5):
+        self.narrow_ratio = narrow_ratio
+
+    def decide(self, window: dict, capacity: int,
+               min_capacity: int, max_capacity: int) -> int:
+        observed = [
+            entry for entry in window.values()
+            if entry.get("p99") is not None and entry.get("slo")
+        ]
+        if not observed:
+            return capacity
+        if any(entry["p99"] > entry["slo"] for entry in observed):
+            return capacity + 1
+        if all(entry["p99"] < self.narrow_ratio * entry["slo"]
+               for entry in observed):
+            return capacity - 1
+        return capacity
+
+
+_AUTOSCALE_POLICIES = {
+    "hold": HoldAutoscaler,
+    "p99": P99BreachAutoscaler,
+    "p99-breach": P99BreachAutoscaler,
+}
+
+
+def autoscale_policy(name: str) -> AutoscalePolicy:
+    """Resolve a ``LoadgenConfig.autoscale_policy`` string."""
+    try:
+        return _AUTOSCALE_POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown autoscale policy {name!r}; expected one of "
+            f"{sorted(_AUTOSCALE_POLICIES)}"
         ) from None

@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import (
+    AdmissionRejected,
     BoundsViolation,
     ExecutionError,
     GuardianError,
@@ -193,6 +194,22 @@ class ServerConfig:
       an on-disk store (atomic writes, versioned keys) so cold-start
       patch cost amortizes across server processes. Implies the patch
       cache. ``None`` (default) keeps the cache memory-only.
+    - ``max_resident_tenants``: bounded admission (DESIGN.md §13).
+      ``attach`` raises :class:`~repro.errors.AdmissionRejected` when
+      the server already hosts this many tenants — the shed signal the
+      open-loop load generator's backpressure path consumes. Rejection
+      happens before any state is created, so resident tenants (their
+      partitions, bounds epochs, streams) are untouched by construction.
+      ``None`` (default) admits without bound, exactly the stock
+      behaviour. Live-migration restores are *not* gated: the cluster's
+      placement already decided the move, and bouncing a mid-flight
+      tenant would strand it.
+    - ``ipc_queue_limit`` / ``ipc_shed_overflow``: bound every
+      attaching client's batched-call queue (picked up like the
+      batching defaults). A full queue either forces an early flush
+      (default — the producer stalls, hardware-ring backpressure) or
+      sheds the call (:class:`~repro.errors.QueueSaturated`). ``None``
+      keeps the queue unbounded and both paths dead code.
     """
 
     enable_patch_cache: bool = False
@@ -212,6 +229,9 @@ class ServerConfig:
     trace_max_ops: int = 512
     enable_vectorized_bounds: bool = False
     patch_cache_dir: Optional[str] = None
+    max_resident_tenants: Optional[int] = None
+    ipc_queue_limit: Optional[int] = None
+    ipc_shed_overflow: bool = False
 
     @classmethod
     def hotpath(cls, **overrides) -> "ServerConfig":
@@ -297,6 +317,8 @@ class ServerStats:
     # Disk patch-cache counters (zero unless patch_cache_dir is set).
     patch_disk_hits: int = 0
     patch_disk_writes: int = 0
+    # Bounded-admission counter (zero unless max_resident_tenants set).
+    admissions_rejected: int = 0
 
 
 @dataclass(frozen=True)
@@ -513,9 +535,18 @@ class GuardianServer:
         return generation
 
     def attach(self, app_id: str, max_bytes: int):
-        """Register a tenant: carve its partition, create its stream."""
+        """Register a tenant: carve its partition, create its stream.
+
+        With ``max_resident_tenants`` configured, a full house rejects
+        the newcomer *before* any state is created — the bounded
+        admission queue the open-loop load generator sheds against.
+        """
         if app_id in self._tenants:
             raise GuardianError(f"app {app_id!r} already attached")
+        limit = self.config.max_resident_tenants
+        if limit is not None and len(self._tenants) >= limit:
+            self.stats.admissions_rejected += 1
+            raise AdmissionRejected(app_id, len(self._tenants), limit)
         self.allocator.create_partition(app_id, max_bytes)
         if self.trace_engine is not None:
             # A re-used app name starts its trace life cold; nothing

@@ -143,6 +143,45 @@ class ChannelClosedError(IPCError):
         super().__init__(msg)
 
 
+class AdmissionRejected(GuardianError):
+    """The server's bounded admission gate turned a tenant away.
+
+    Raised by ``attach`` when ``ServerConfig.max_resident_tenants`` is
+    set and the server is already at capacity — the backpressure signal
+    the open-loop load generator reacts to by shedding the session.
+    Nothing about the rejected tenant was created: no partition, no
+    stream, no bounds record, so resident tenants are untouched.
+    """
+
+    def __init__(self, app_id: str, resident: int, limit: int):
+        self.app_id = app_id
+        self.resident = resident
+        self.limit = limit
+        super().__init__(
+            f"app {app_id!r} rejected at admission: {resident} resident "
+            f"tenant(s) at the configured limit of {limit}"
+        )
+
+
+class QueueSaturated(IPCError):
+    """A bounded IPC queue was full and its overflow policy is shed.
+
+    Raised by the client channel when ``queue_limit`` is set with
+    ``shed_overflow`` and an asynchronous call arrives while the queue
+    already holds ``queue_limit`` entries. The call never reached the
+    server; the caller decides whether to retry, back off, or drop.
+    """
+
+    def __init__(self, app_id: str, method: str, limit: int):
+        self.app_id = app_id
+        self.method = method
+        self.limit = limit
+        super().__init__(
+            f"tenant {app_id!r}: {method} shed — IPC queue at its "
+            f"limit of {limit}"
+        )
+
+
 class TransientIPCFault(IPCError):
     """A message-queue crossing failed in a retryable way (dropped or
     corrupted message). The TenantSupervisor retries these with backoff

@@ -1,0 +1,49 @@
+"""Open-loop traffic harness with SLO accounting (DESIGN.md §13).
+
+The production-shaped yardstick the closed-loop benchmarks lack:
+seeded arrival processes (:mod:`~repro.loadgen.arrivals`) replay full
+tenant sessions (:mod:`~repro.loadgen.session`) against a live
+GuardianServer on a virtual-time event loop
+(:mod:`~repro.loadgen.driver`), with bounded-queue shedding, a lane
+autoscaling control loop, and SLO grading over the telemetry registry
+(:mod:`~repro.loadgen.slo`).
+"""
+
+from repro.loadgen.arrivals import (
+    Arrival,
+    ArrivalProcess,
+    MarkovModulatedArrivals,
+    PoissonArrivals,
+)
+from repro.loadgen.driver import (
+    LoadgenConfig,
+    LoadReport,
+    OpenLoopDriver,
+    SessionOutcome,
+)
+from repro.loadgen.session import (
+    SessionResult,
+    SessionSpec,
+    SLOClass,
+    run_session,
+    session_fatbin,
+)
+from repro.loadgen.slo import NOT_AVAILABLE, evaluate_slo
+
+__all__ = [
+    "Arrival",
+    "ArrivalProcess",
+    "MarkovModulatedArrivals",
+    "PoissonArrivals",
+    "LoadgenConfig",
+    "LoadReport",
+    "OpenLoopDriver",
+    "SessionOutcome",
+    "SessionResult",
+    "SessionSpec",
+    "SLOClass",
+    "run_session",
+    "session_fatbin",
+    "NOT_AVAILABLE",
+    "evaluate_slo",
+]

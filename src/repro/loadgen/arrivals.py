@@ -1,0 +1,133 @@
+"""Deterministic, seeded arrival processes on the virtual time axis.
+
+The open-loop contract (DESIGN.md §13): arrival instants are drawn
+*before* the run, from a seeded process, on a virtual clock measured
+in modelled CPU cycles — they never depend on how the system under
+load responds. Two processes cover the production-shaped space:
+
+- :class:`PoissonArrivals` — memoryless sessions at a fixed rate, the
+  classic open-loop baseline (exponential inter-arrivals).
+- :class:`MarkovModulatedArrivals` — an MMPP(2): a hidden two-state
+  Markov chain flips between a *calm* and a *burst* rate, producing
+  the correlated arrival clumps that make tail latency interesting.
+
+Determinism contract: the same process class, parameters, and seed
+produce the same trace, call after call — ``trace`` re-seeds its own
+private :class:`random.Random`, so producing a trace twice (or
+consuming it in two different runs) yields identical instants.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One session's arrival: a virtual-cycle instant plus the index
+    the driver uses to mint a unique tenant id."""
+
+    index: int
+    at_cycles: float
+
+
+class ArrivalProcess:
+    """Base class: a seeded generator of arrival instants."""
+
+    def trace(self, count: int) -> list[Arrival]:
+        """The first ``count`` arrivals, regenerated from the seed."""
+        raise NotImplementedError
+
+    def mean_rate(self) -> float:
+        """Long-run arrivals per virtual cycle (the offered load)."""
+        raise NotImplementedError
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals: exponential inter-arrival times.
+
+    ``rate`` is arrivals per virtual cycle — production rates are tiny
+    fractions (one session per hundreds of thousands of cycles), so
+    callers usually write ``rate=k / 1e6`` for *k* sessions per
+    million cycles.
+    """
+
+    def __init__(self, rate: float, seed: int = 0):
+        if rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {rate}")
+        self.rate = rate
+        self.seed = seed
+
+    def trace(self, count: int) -> list[Arrival]:
+        rng = random.Random(self.seed)
+        now = 0.0
+        arrivals = []
+        for index in range(count):
+            now += rng.expovariate(self.rate)
+            arrivals.append(Arrival(index, now))
+        return arrivals
+
+    def mean_rate(self) -> float:
+        return self.rate
+
+
+class MarkovModulatedArrivals(ArrivalProcess):
+    """MMPP(2): Poisson arrivals whose rate is switched by a hidden
+    two-state Markov chain.
+
+    The chain holds each state for an exponential sojourn
+    (``mean_calm_cycles`` / ``mean_burst_cycles``), emitting at
+    ``calm_rate`` or ``burst_rate`` while there. Bursts arrive in
+    clumps — the arrival variance exceeds a Poisson process of the
+    same mean rate, which is exactly what stresses p999.
+    """
+
+    def __init__(self, calm_rate: float, burst_rate: float,
+                 mean_calm_cycles: float, mean_burst_cycles: float,
+                 seed: int = 0):
+        if calm_rate <= 0 or burst_rate <= 0:
+            raise ValueError(
+                f"rates must be positive, got {calm_rate}/{burst_rate}"
+            )
+        if mean_calm_cycles <= 0 or mean_burst_cycles <= 0:
+            raise ValueError("state sojourns must be positive")
+        self.calm_rate = calm_rate
+        self.burst_rate = burst_rate
+        self.mean_calm_cycles = mean_calm_cycles
+        self.mean_burst_cycles = mean_burst_cycles
+        self.seed = seed
+
+    def trace(self, count: int) -> list[Arrival]:
+        rng = random.Random(self.seed)
+        arrivals: list[Arrival] = []
+        now = 0.0
+        bursting = False
+        # The current state's remaining sojourn, consumed arrival by
+        # arrival; crossing zero flips the state before emitting.
+        state_left = rng.expovariate(1.0 / self.mean_calm_cycles)
+        while len(arrivals) < count:
+            rate = self.burst_rate if bursting else self.calm_rate
+            gap = rng.expovariate(rate)
+            while gap >= state_left:
+                # The state flips mid-gap: advance to the flip point
+                # and redraw the residual gap at the new state's rate
+                # (the memoryless property makes the redraw exact).
+                now += state_left
+                gap = 0.0
+                bursting = not bursting
+                mean = (self.mean_burst_cycles if bursting
+                        else self.mean_calm_cycles)
+                state_left = rng.expovariate(1.0 / mean)
+                rate = self.burst_rate if bursting else self.calm_rate
+                gap = rng.expovariate(rate)
+            state_left -= gap
+            now += gap
+            arrivals.append(Arrival(len(arrivals), now))
+        return arrivals
+
+    def mean_rate(self) -> float:
+        """Sojourn-weighted average of the two states' rates."""
+        total = self.mean_calm_cycles + self.mean_burst_cycles
+        return (self.calm_rate * self.mean_calm_cycles
+                + self.burst_rate * self.mean_burst_cycles) / total

@@ -1,0 +1,148 @@
+"""Tenant session models: what one arriving user *does*.
+
+A session is the full tenant lifecycle the closed-loop benchmarks
+exercise — attach → deploy a library → launch storm (H2D, H2D, launch
+per iteration, synchronizing every ``sync_every``) → final synchronize
+→ detach — parameterized by an SLO class. The executor runs the whole
+session against a live :class:`~repro.core.server.GuardianServer`
+through a real :class:`~repro.core.client.GuardianClient`, so every
+modelled cost (IPC transport, range checks, lookup/augment/syscall,
+patch work) is exactly what the closed-loop scripts pay; the session's
+*service demand* is the host-cycle delta it caused (server busy cycles
+plus the client's critical path), which the virtual-time driver feeds
+into its queueing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.client import GuardianClient
+from repro.driver.fatbin import FatBinary, build_fatbin
+from repro.ptx.builder import KernelBuilder, build_module
+
+
+@dataclass(frozen=True)
+class SLOClass:
+    """One class of service: a name and its p99 latency target.
+
+    ``p99_cycles`` bounds the *session* latency (queue wait + service)
+    on the virtual CPU-cycle axis; the SLO evaluator grades each
+    class's observed p99 against it and the autoscale control loop
+    widens lanes when it breaches.
+    """
+
+    name: str
+    p99_cycles: float
+
+    def __post_init__(self):
+        if self.p99_cycles <= 0:
+            raise ValueError(
+                f"SLO class {self.name!r}: p99 target must be positive"
+            )
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """The shape of one tenant session.
+
+    ``iterations`` of (H2D, H2D, launch) against a ``buffer_bytes``
+    working set, synchronizing every ``sync_every`` iterations — the
+    fig7-style sharing inner loop — bracketed by the attach/deploy
+    prologue and the synchronize/detach epilogue.
+    """
+
+    slo_class: str = "standard"
+    partition_bytes: int = 1 << 20
+    iterations: int = 8
+    sync_every: int = 4
+    buffer_bytes: int = 512
+    elements: int = 16
+
+    def __post_init__(self):
+        if self.iterations < 1 or self.sync_every < 1:
+            raise ValueError("iterations and sync_every must be >= 1")
+
+
+def _saxpy_kernel():
+    """y[i] = a * x[i] + y[i] — the session workload's kernel."""
+    b = KernelBuilder("saxpy", params=[
+        ("y", "u64"), ("x", "u64"), ("a", "f32"), ("n", "u32"),
+    ])
+    y = b.load_param_ptr("y")
+    x = b.load_param_ptr("x")
+    a = b.load_param("a", "f32")
+    n = b.load_param("n", "u32")
+    gid = b.global_thread_id()
+    with b.if_less_than(gid, n):
+        x_addr = b.element_addr(x, gid, 4)
+        y_addr = b.element_addr(y, gid, 4)
+        result = b.fma("f32", b.ld_global("f32", x_addr), a,
+                       b.ld_global("f32", y_addr))
+        b.st_global("f32", y_addr, result)
+    return b.build()
+
+
+_FATBIN: FatBinary | None = None
+
+
+def session_fatbin() -> FatBinary:
+    """The shared library every session deploys (memoised: identical
+    content means the server's patch cache — when enabled — hits, the
+    way a fleet of sessions sharing one library would)."""
+    global _FATBIN
+    if _FATBIN is None:
+        _FATBIN = build_fatbin(
+            build_module([_saxpy_kernel()]), "libloadgen", "11.7"
+        )
+    return _FATBIN
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """What one executed session cost."""
+
+    app_id: str
+    slo_class: str
+    host_cycles: float
+    calls: int
+
+
+def run_session(server, app_id: str, spec: SessionSpec) -> SessionResult:
+    """Execute one full tenant session against ``server``.
+
+    Returns the session's host-cycle demand: the server busy-clock
+    delta plus the client's own critical-path cycles. Raises whatever
+    the server raises — notably
+    :class:`~repro.errors.AdmissionRejected` when the server's bounded
+    admission gate is configured and full; the caller (the driver)
+    turns that into a shed.
+    """
+    server_before = server.stats.cycles
+    client = GuardianClient(server, app_id, spec.partition_bytes)
+    try:
+        kernel = client.register_fatbin(session_fatbin())["saxpy"]
+        buffer = client.malloc(spec.buffer_bytes)
+        payload = np.ones(spec.elements, dtype=np.float32).tobytes()
+        half = spec.buffer_bytes // 2
+        for iteration in range(spec.iterations):
+            client.memcpy_h2d(buffer, payload)
+            client.memcpy_h2d(buffer + half, payload)
+            client.launch_kernel(
+                kernel, (1, 1, 1), (spec.elements, 1, 1),
+                [buffer, buffer + half, 2.0, spec.elements],
+            )
+            if (iteration + 1) % spec.sync_every == 0:
+                client.synchronize()
+        client.synchronize()
+    finally:
+        client.close()
+    return SessionResult(
+        app_id=app_id,
+        slo_class=spec.slo_class,
+        host_cycles=(server.stats.cycles - server_before
+                     + client.channel.stats.client_cycles),
+        calls=client.channel.stats.messages,
+    )

@@ -1,0 +1,112 @@
+"""SLO accounting on top of the telemetry registry.
+
+The evaluator reads what the driver recorded — the
+``loadgen_session_latency_cycles`` histograms and the
+``loadgen_sessions_total`` counters in the :mod:`repro.telemetry`
+registry — and grades each class against its SLO:
+
+- **p50 / p99 / p999** modelled session latency (queue wait + service);
+- **goodput** — SLO-compliant completions per million virtual cycles
+  of the run's horizon;
+- **shed rate** — shed + rejected arrivals over everything offered;
+- **time above SLO** — the fraction of control windows whose windowed
+  p99 breached the target (only meaningful when the control loop ran).
+
+Denominator guards throughout (the PR 6 convention): an empty
+histogram reports ``None`` (rendered ``n/a``) for every quantile, a
+zero horizon reports ``None`` goodput, zero offered sessions report
+``None`` shed rate — never a ZeroDivisionError.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.loadgen.driver import LoadReport
+from repro.loadgen.session import SLOClass
+from repro.telemetry import Telemetry
+
+#: Rendered in reports wherever a denominator guard fired.
+NOT_AVAILABLE = "n/a"
+
+
+def _guarded_ratio(numerator: float,
+                   denominator: float) -> Optional[float]:
+    """``numerator / denominator`` or ``None`` on an empty
+    denominator — the single divide in this module."""
+    if not denominator:
+        return None
+    return numerator / denominator
+
+
+def evaluate_slo(report: LoadReport,
+                 classes: dict[str, SLOClass],
+                 telemetry: Optional[Telemetry] = None) -> dict:
+    """Grade one run's report against its SLO classes.
+
+    Returns a JSON-safe dict: ``{"classes": {name: {...}}, "overall":
+    {...}}``. ``telemetry`` defaults to the report's own registry.
+    """
+    telemetry = telemetry or report.telemetry
+    if telemetry is None:
+        raise ValueError("no telemetry registry to evaluate against")
+    latency = telemetry.session_latency
+    sessions = telemetry.sessions
+    horizon = report.horizon_cycles
+    per_class: dict[str, dict] = {}
+    totals = {"offered": 0, "completed": 0, "shed": 0, "rejected": 0,
+              "compliant": 0}
+    for name in sorted(classes):
+        target = classes[name]
+        completed = int(sessions.value(cls=name, outcome="completed"))
+        shed = int(sessions.value(cls=name, outcome="shed"))
+        rejected = int(sessions.value(cls=name, outcome="rejected"))
+        compliant = int(sessions.value(cls=name, outcome="within_slo"))
+        offered = completed + shed + rejected
+        count = latency.count(cls=name)
+        quantiles = {
+            "p50": latency.quantile(0.5, cls=name) if count else None,
+            "p99": latency.quantile(0.99, cls=name) if count else None,
+            "p999": latency.quantile(0.999, cls=name) if count else None,
+        }
+        breached = [window[name]["breached"] for window in report.windows
+                    if name in window and window[name]["p99"] is not None]
+        per_class[name] = {
+            "slo_p99_cycles": target.p99_cycles,
+            "offered": offered,
+            "completed": completed,
+            "shed": shed,
+            "rejected": rejected,
+            "slo_compliant": compliant,
+            **quantiles,
+            "goodput_per_mcycle": _guarded_ratio(
+                compliant * 1e6, horizon
+            ),
+            "shed_rate": _guarded_ratio(shed + rejected, offered),
+            "time_above_slo": _guarded_ratio(
+                sum(breached), len(breached)
+            ),
+        }
+        totals["offered"] += offered
+        totals["completed"] += completed
+        totals["shed"] += shed
+        totals["rejected"] += rejected
+        totals["compliant"] += compliant
+    return {
+        "classes": per_class,
+        "overall": {
+            **totals,
+            "horizon_cycles": horizon,
+            "makespan_cycles": report.makespan_cycles,
+            "goodput_per_mcycle": _guarded_ratio(
+                totals["compliant"] * 1e6, horizon
+            ),
+            "shed_rate": _guarded_ratio(
+                totals["shed"] + totals["rejected"], totals["offered"]
+            ),
+            "capacity_final": (report.capacity_timeline[-1][1]
+                               if report.capacity_timeline else None),
+            "capacity_peak": (max(c for _, c in report.capacity_timeline)
+                              if report.capacity_timeline else None),
+        },
+    }

@@ -85,6 +85,23 @@ class Telemetry:
             "guardian_migrations_total",
             "live migration attempts, by source, target, outcome",
         )
+        # Open-loop load harness families (repro.loadgen, DESIGN.md
+        # §13). Fed only by the driver — a deployment that never runs
+        # under load carries them declared-but-empty.
+        self.sessions = self.registry.counter(
+            "loadgen_sessions_total",
+            "open-loop sessions, by class and outcome "
+            "(completed / shed / rejected / within_slo)",
+        )
+        self.session_latency = self.registry.histogram(
+            "loadgen_session_latency_cycles",
+            "modelled open-loop session latency "
+            "(queue wait + service), by class",
+        )
+        self.loadgen_capacity = self.registry.gauge(
+            "loadgen_capacity_lanes",
+            "service capacity (lanes) after the latest control tick",
+        )
 
     # -- hook-point helpers -------------------------------------------------------
 
@@ -104,6 +121,26 @@ class Telemetry:
 
     def record_queue_wait(self, tenant: str, waited_cycles: float) -> None:
         self.queue_wait.observe(waited_cycles, tenant=tenant)
+
+    def record_session(self, cls: str, outcome: str,
+                       latency_cycles: Optional[float] = None,
+                       within_slo: bool = False) -> None:
+        """One open-loop session's fate (the loadgen driver's hook).
+
+        ``within_slo`` increments the class's compliance series — the
+        goodput numerator — alongside the ``completed`` count;
+        ``latency_cycles`` lands in the per-class histogram and the
+        all-classes aggregate the latency-under-load report renders.
+        """
+        self.sessions.inc(cls=cls, outcome=outcome)
+        if within_slo:
+            self.sessions.inc(cls=cls, outcome="within_slo")
+        if latency_cycles is not None:
+            self.session_latency.observe(latency_cycles, cls=cls)
+            self.session_latency.observe(latency_cycles)
+
+    def record_capacity(self, lanes: int) -> None:
+        self.loadgen_capacity.set(lanes)
 
     # -- snapshots ---------------------------------------------------------------
 

@@ -1,0 +1,82 @@
+"""Arrival processes: seeded determinism and statistical shape."""
+
+import pytest
+
+from repro.loadgen import Arrival, MarkovModulatedArrivals, PoissonArrivals
+
+
+def mmpp(seed=0):
+    return MarkovModulatedArrivals(
+        calm_rate=1e-6, burst_rate=1e-5,
+        mean_calm_cycles=2e6, mean_burst_cycles=1e6, seed=seed,
+    )
+
+
+class TestPoissonArrivals:
+    def test_trace_is_deterministic_per_seed(self):
+        first = PoissonArrivals(rate=1e-5, seed=7).trace(50)
+        second = PoissonArrivals(rate=1e-5, seed=7).trace(50)
+        assert first == second
+
+    def test_same_process_retracing_is_stable(self):
+        process = PoissonArrivals(rate=1e-5, seed=3)
+        assert process.trace(20) == process.trace(20)
+        # A longer trace extends the same prefix, it does not reshuffle.
+        assert process.trace(40)[:20] == process.trace(20)
+
+    def test_seeds_differ(self):
+        assert (PoissonArrivals(rate=1e-5, seed=0).trace(20)
+                != PoissonArrivals(rate=1e-5, seed=1).trace(20))
+
+    def test_trace_shape(self):
+        trace = PoissonArrivals(rate=1e-5, seed=0).trace(30)
+        assert [a.index for a in trace] == list(range(30))
+        instants = [a.at_cycles for a in trace]
+        assert instants == sorted(instants)
+        assert all(instant > 0 for instant in instants)
+        assert all(isinstance(a, Arrival) for a in trace)
+
+    def test_mean_interarrival_tracks_rate(self):
+        rate = 1e-5
+        trace = PoissonArrivals(rate=rate, seed=0).trace(2000)
+        mean_gap = trace[-1].at_cycles / len(trace)
+        assert mean_gap == pytest.approx(1.0 / rate, rel=0.1)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=0.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=-1e-6)
+
+
+class TestMarkovModulatedArrivals:
+    def test_trace_is_deterministic_per_seed(self):
+        assert mmpp(seed=5).trace(50) == mmpp(seed=5).trace(50)
+
+    def test_seeds_differ(self):
+        assert mmpp(seed=0).trace(20) != mmpp(seed=1).trace(20)
+
+    def test_trace_shape(self):
+        trace = mmpp().trace(40)
+        assert [a.index for a in trace] == list(range(40))
+        instants = [a.at_cycles for a in trace]
+        assert instants == sorted(instants)
+
+    def test_mean_rate_is_sojourn_weighted(self):
+        process = mmpp()
+        calm_weight = 2e6 / 3e6
+        expected = calm_weight * 1e-6 + (1 - calm_weight) * 1e-5
+        assert process.mean_rate() == pytest.approx(expected)
+
+    def test_bursts_cluster_arrivals(self):
+        # The burst state is 10x faster, so the observed mean gap must
+        # land strictly between the two pure-state gaps.
+        trace = mmpp().trace(2000)
+        mean_gap = trace[-1].at_cycles / len(trace)
+        assert 1 / 1e-5 < mean_gap < 1 / 1e-6
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MarkovModulatedArrivals(0.0, 1e-5, 1e6, 1e6)
+        with pytest.raises(ValueError):
+            MarkovModulatedArrivals(1e-6, 1e-5, 0.0, 1e6)

@@ -1,0 +1,256 @@
+"""The open-loop driver: queueing semantics, shedding, autoscaling,
+and the SLO evaluator's denominator guards."""
+
+import pytest
+
+from repro.analysis.reporting import render_slo_report
+from repro.core.server import GuardianServer, ServerConfig
+from repro.gpu.device import Device
+from repro.gpu.specs import QUADRO_RTX_A4000
+from repro.loadgen import (
+    LoadgenConfig,
+    LoadReport,
+    OpenLoopDriver,
+    PoissonArrivals,
+    SessionSpec,
+    SLOClass,
+    evaluate_slo,
+    run_session,
+)
+
+SPEC = SessionSpec(iterations=2, sync_every=2)
+
+
+def make_server(**knobs):
+    return GuardianServer(Device(QUADRO_RTX_A4000),
+                          config=ServerConfig(**knobs))
+
+
+def service_cycles():
+    return run_session(make_server(), "probe", SPEC).host_cycles
+
+
+class TestLoadgenConfig:
+    def test_defaults_are_off(self):
+        config = LoadgenConfig()
+        assert config.capacity == 1
+        assert config.admission_queue_depth is None
+        assert config.autoscale is False
+
+    @pytest.mark.parametrize("bad", [
+        {"capacity": 0},
+        {"admission_queue_depth": 0},
+        {"min_capacity": 0},
+        {"min_capacity": 4, "max_capacity": 2},
+        {"control_interval_cycles": 0.0},
+    ])
+    def test_rejects_bad_knobs(self, bad):
+        with pytest.raises(ValueError):
+            LoadgenConfig(**bad)
+
+
+class TestOpenLoopDriver:
+    def test_light_load_sees_bare_service_demand(self):
+        service = service_cycles()
+        driver = OpenLoopDriver(make_server())
+        report = driver.run(
+            PoissonArrivals(rate=0.01 / service, seed=0), 5, spec=SPEC,
+        )
+        assert len(report.outcomes) == 5
+        for outcome in report.outcomes:
+            assert outcome.outcome == "completed"
+            # Arrivals ~100 service times apart never queue.
+            assert outcome.start == outcome.arrival
+            assert outcome.latency == pytest.approx(service)
+
+    def test_overload_queues_and_latency_grows(self):
+        service = service_cycles()
+        driver = OpenLoopDriver(make_server())
+        report = driver.run(
+            PoissonArrivals(rate=3.0 / service, seed=0), 20, spec=SPEC,
+        )
+        latencies = [o.latency for o in report.outcomes]
+        # Open loop at 3x one lane: the queue builds, the tail dwarfs
+        # the bare service demand.
+        assert max(latencies) > 3 * service
+        assert report.makespan_cycles > report.outcomes[-1].arrival
+
+    def test_added_capacity_cuts_latency(self):
+        service = service_cycles()
+        process = PoissonArrivals(rate=1.5 / service, seed=0)
+        reports = {}
+        for capacity in (1, 4):
+            driver = OpenLoopDriver(
+                make_server(), LoadgenConfig(capacity=capacity))
+            reports[capacity] = driver.run(process, 20, spec=SPEC)
+        slow = max(o.latency for o in reports[1].outcomes)
+        fast = max(o.latency for o in reports[4].outcomes)
+        assert fast < slow
+
+    def test_bounded_queue_sheds_excess(self):
+        service = service_cycles()
+        driver = OpenLoopDriver(
+            make_server(),
+            LoadgenConfig(capacity=1, admission_queue_depth=2),
+        )
+        report = driver.run(
+            PoissonArrivals(rate=4.0 / service, seed=0), 25, spec=SPEC,
+        )
+        outcomes = {o.outcome for o in report.outcomes}
+        shed = [o for o in report.outcomes if o.outcome == "shed"]
+        assert "shed" in outcomes and "completed" in outcomes
+        # A shed session records nothing but its arrival.
+        for outcome in shed:
+            assert outcome.latency == 0.0
+            assert outcome.host_cycles == 0.0
+        # Telemetry counted every fate.
+        telemetry = driver.telemetry
+        counted = (telemetry.sessions.value(cls="standard",
+                                            outcome="completed")
+                   + telemetry.sessions.value(cls="standard",
+                                              outcome="shed"))
+        assert counted == 25
+
+    def test_server_admission_gate_records_rejections(self):
+        service = service_cycles()
+        driver = OpenLoopDriver(make_server(max_resident_tenants=0))
+        report = driver.run(
+            PoissonArrivals(rate=1.0 / service, seed=0), 4, spec=SPEC,
+        )
+        assert all(o.outcome == "rejected" for o in report.outcomes)
+        assert driver.server.stats.admissions_rejected == 4
+        assert driver.server.stats.cycles == 0.0
+
+    def test_class_mix_rotates_deterministically(self):
+        service = service_cycles()
+        classes = {
+            "gold": SLOClass("gold", 2 * service),
+            "best-effort": SLOClass("best-effort", 50 * service),
+        }
+        driver = OpenLoopDriver(make_server(), classes=classes)
+        specs = {
+            "gold": SPEC,
+            "best-effort": SessionSpec(slo_class="best-effort",
+                                       iterations=2, sync_every=2),
+        }
+        report = driver.run(
+            PoissonArrivals(rate=0.5 / service, seed=0), 6,
+            spec=specs, mix=["gold", "gold", "best-effort"],
+        )
+        assert [o.slo_class for o in report.outcomes] == [
+            "gold", "gold", "best-effort",
+            "gold", "gold", "best-effort",
+        ]
+
+    def test_mix_validation(self):
+        driver = OpenLoopDriver(make_server())
+        process = PoissonArrivals(rate=1e-5, seed=0)
+        with pytest.raises(ValueError):
+            driver.run(process, 2, spec={}, mix=[])
+        with pytest.raises(ValueError):
+            driver.run(process, 2, spec={"a": SPEC}, mix=["a", "b"])
+
+    def test_autoscaler_widens_on_breach_and_logs_timeline(self):
+        service = service_cycles()
+        classes = {"standard": SLOClass("standard", 2.0 * service)}
+        driver = OpenLoopDriver(
+            make_server(),
+            LoadgenConfig(capacity=1, autoscale=True, min_capacity=1,
+                          max_capacity=4,
+                          control_interval_cycles=4 * service),
+            classes,
+        )
+        report = driver.run(
+            PoissonArrivals(rate=2.0 / service, seed=0), 30, spec=SPEC,
+        )
+        assert report.capacity_timeline[0] == (0.0, 1)
+        peak = max(capacity for _, capacity in report.capacity_timeline)
+        assert peak > 1
+        assert report.windows  # control windows were evaluated
+        assert any(view["standard"]["breached"]
+                   for view in report.windows
+                   if view["standard"]["p99"] is not None)
+        # The gauge mirrors the last tick.
+        assert (driver.telemetry.loadgen_capacity.value()
+                == report.capacity_timeline[-1][1])
+
+    def test_autoscale_off_never_touches_capacity(self):
+        service = service_cycles()
+        driver = OpenLoopDriver(make_server(),
+                                LoadgenConfig(capacity=2))
+        report = driver.run(
+            PoissonArrivals(rate=2.0 / service, seed=0), 10, spec=SPEC,
+        )
+        assert report.capacity_timeline == [(0.0, 2)]
+        assert report.windows == []
+
+
+class TestSLOEvaluator:
+    def test_grades_a_run(self):
+        service = service_cycles()
+        classes = {"standard": SLOClass("standard", 10 * service)}
+        driver = OpenLoopDriver(make_server(), classes=classes)
+        report = driver.run(
+            PoissonArrivals(rate=0.2 / service, seed=0), 8, spec=SPEC,
+        )
+        grades = evaluate_slo(report, classes)
+        grade = grades["classes"]["standard"]
+        assert grade["offered"] == grade["completed"] == 8
+        assert grade["slo_compliant"] == 8
+        assert grade["shed_rate"] == 0.0
+        assert grade["p50"] is not None
+        assert grade["p50"] <= grade["p99"] <= grade["p999"]
+        assert grades["overall"]["goodput_per_mcycle"] > 0
+
+    def test_empty_run_reports_na_not_zero_division(self):
+        classes = {"standard": SLOClass("standard", 1e6)}
+        report = LoadReport()
+        driver = OpenLoopDriver(make_server(), classes=classes)
+        report.telemetry = driver.telemetry
+        grades = evaluate_slo(report, classes)
+        grade = grades["classes"]["standard"]
+        assert grade["p50"] is None
+        assert grade["p99"] is None
+        assert grade["goodput_per_mcycle"] is None
+        assert grade["shed_rate"] is None
+        assert grade["time_above_slo"] is None
+        assert grades["overall"]["goodput_per_mcycle"] is None
+        rendered = render_slo_report(grades)
+        assert "n/a" in rendered
+
+    def test_all_shed_run_has_horizon_but_na_quantiles(self):
+        service = service_cycles()
+        classes = {"standard": SLOClass("standard", 10 * service)}
+        driver = OpenLoopDriver(
+            make_server(max_resident_tenants=0), classes=classes)
+        report = driver.run(
+            PoissonArrivals(rate=1.0 / service, seed=0), 5, spec=SPEC,
+        )
+        grades = evaluate_slo(report, classes)
+        grade = grades["classes"]["standard"]
+        assert grade["rejected"] == 5
+        assert grade["shed_rate"] == 1.0
+        assert grade["p99"] is None
+        assert grades["overall"]["horizon_cycles"] > 0
+        # Goodput is a real 0.0 (horizon exists, nothing compliant).
+        assert grades["overall"]["goodput_per_mcycle"] == 0.0
+
+    def test_render_includes_every_class(self):
+        service = service_cycles()
+        classes = {
+            "gold": SLOClass("gold", 5 * service),
+            "best-effort": SLOClass("best-effort", 50 * service),
+        }
+        driver = OpenLoopDriver(make_server(), classes=classes)
+        specs = {
+            "gold": SPEC,
+            "best-effort": SessionSpec(slo_class="best-effort",
+                                       iterations=2, sync_every=2),
+        }
+        report = driver.run(
+            PoissonArrivals(rate=0.2 / service, seed=0), 4,
+            spec=specs, mix=["gold", "best-effort"],
+        )
+        rendered = render_slo_report(evaluate_slo(report, classes))
+        assert "gold" in rendered and "best-effort" in rendered
+        assert "overall:" in rendered

@@ -1,0 +1,103 @@
+"""Properties of the open-loop harness.
+
+1. **Stock replay is bit-identical to the closed-loop script.** With
+   backpressure and autoscaling off, the driver issues exactly the
+   calls the equivalent closed-loop script issues, in the same order —
+   for *any* seed and rate, the server's modelled cycle totals match
+   to the bit (open loop changes the *accounting*, never the work).
+
+2. **Shed sessions never perturb the survivors.** A shed or rejected
+   session executes zero calls, so for *any* seed and queue depth the
+   surviving sessions' bounds-table epochs — and the server's entire
+   cycle total — are identical to a run in which the shed arrivals
+   never existed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.server import GuardianServer, ServerConfig
+from repro.gpu.device import Device
+from repro.gpu.specs import QUADRO_RTX_A4000
+from repro.loadgen import (
+    LoadgenConfig,
+    OpenLoopDriver,
+    PoissonArrivals,
+    SessionSpec,
+    run_session,
+)
+
+SPEC = SessionSpec(iterations=2, sync_every=2)
+
+#: One session's service demand on a fresh stock server, measured once
+#: (the property bodies only need it to scale arrival rates).
+_SERVICE = run_session(
+    GuardianServer(Device(QUADRO_RTX_A4000)), "probe", SPEC
+).host_cycles
+
+
+def make_server(**knobs):
+    return GuardianServer(Device(QUADRO_RTX_A4000),
+                          config=ServerConfig(**knobs))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1_000),
+    load=st.floats(min_value=0.1, max_value=3.0),
+    count=st.integers(min_value=1, max_value=10),
+)
+def test_stock_replay_matches_closed_loop_bit_for_bit(seed, load, count):
+    process = PoissonArrivals(rate=load / _SERVICE, seed=seed)
+
+    open_server = make_server()
+    driver = OpenLoopDriver(open_server, LoadgenConfig(seed=seed))
+    report = driver.run(process, count, spec=SPEC)
+
+    closed_server = make_server()
+    closed = [run_session(closed_server, f"ld{index}", SPEC)
+              for index in range(count)]
+
+    assert open_server.stats.cycles == closed_server.stats.cycles
+    assert (open_server.allocator.bounds.epochs()
+            == closed_server.allocator.bounds.epochs())
+    # Per-session service demand matches the closed-loop measurement.
+    for outcome, result in zip(report.outcomes, closed):
+        assert outcome.outcome == "completed"
+        assert outcome.host_cycles == result.host_cycles
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1_000),
+    depth=st.integers(min_value=1, max_value=3),
+    count=st.integers(min_value=5, max_value=15),
+)
+def test_shed_sessions_never_perturb_survivors(seed, depth, count):
+    # Offer 4x one lane so the bounded queue actually sheds.
+    process = PoissonArrivals(rate=4.0 / _SERVICE, seed=seed)
+
+    shed_server = make_server()
+    driver = OpenLoopDriver(
+        shed_server,
+        LoadgenConfig(capacity=1, admission_queue_depth=depth,
+                      seed=seed),
+    )
+    report = driver.run(process, count, spec=SPEC)
+    survivors = [o.app_id for o in report.outcomes
+                 if o.outcome == "completed"]
+    shed = [o.app_id for o in report.outcomes if o.outcome == "shed"]
+
+    # Replay only the survivors closed-loop, same ids, same order.
+    clean_server = make_server()
+    for app_id in survivors:
+        run_session(clean_server, app_id, SPEC)
+
+    # The run with sheds did exactly the survivors' work: identical
+    # cycle totals, identical per-tenant bounds epochs, and the shed
+    # tenants left no bounds-table trace at all.
+    assert shed_server.stats.cycles == clean_server.stats.cycles
+    epochs = shed_server.allocator.bounds.epochs()
+    assert epochs == clean_server.allocator.bounds.epochs()
+    for app_id in shed:
+        assert app_id not in epochs
