@@ -32,7 +32,13 @@ Reads the ``BENCH_*.json`` files the benchmark run emitted into
 - ``load_slo``: at the pinned open-loop operating point
   (``utilisation`` of the modelled capacity) goodput must stay at or
   above ``min_goodput_per_mcycle`` and the modelled session p99 at or
-  below ``max_p99_cycles`` — latency under load must not run away.
+  below ``max_p99_cycles`` — latency under load must not run away;
+- ``elastic_memory``: under the seeded churn trace the elastic arm
+  must admit at least ``min_goodput_uplift`` (1.25x) as many sessions
+  as the static arm at a shed rate no worse, and the per-access fence
+  must still be exactly ``mask_ops_per_access`` (2) mask ops with
+  every elastic knob on — capacity recovery may never widen the
+  GPUArmor check path.
 
 A measurement missing from ``BENCH_DIR`` falls back to the committed
 ``benchmarks/trajectory/`` snapshot (the last numbers a maintainer
@@ -226,6 +232,46 @@ def check_load_slo(bench_dir: Path, baseline: dict) -> int:
     return status
 
 
+def check_elastic(bench_dir: Path, baseline: dict) -> int:
+    measured = load_bench(bench_dir, "elastic_memory")
+    if measured is None:
+        return fail("BENCH_elastic_memory.json was not emitted and no "
+                    "trajectory snapshot exists")
+    uplift = measured["goodput_uplift"]
+    floor = baseline["min_goodput_uplift"]
+    static_shed = measured["static"]["shed_rate"]
+    elastic_shed = measured["elastic"]["shed_rate"]
+    mask_ops = measured["fence"]["mask_ops_per_access"]
+    pinned_ops = baseline["mask_ops_per_access"]
+    print(f"elastic_memory: goodput uplift {uplift:.2f}x (floor "
+          f"{floor:.2f}x), shed {elastic_shed:.3f} vs static "
+          f"{static_shed:.3f}, fence {mask_ops:g} mask ops/access")
+    status = 0
+    if uplift < floor:
+        status = fail(
+            f"elastic goodput uplift {uplift:.2f}x fell below the "
+            f"{floor:.2f}x floor under churn"
+        )
+    if elastic_shed > static_shed:
+        status = fail(
+            f"elastic shed rate {elastic_shed:.3f} is worse than the "
+            f"static arm's {static_shed:.3f} — capacity recovery may "
+            f"not trade away the shed-rate SLO"
+        )
+    if mask_ops != pinned_ops:
+        status = fail(
+            f"per-access fence is {mask_ops:g} mask ops with elastic "
+            f"knobs on; pinned at {pinned_ops} (GPUArmor bar)"
+        )
+    if not measured["fence"]["patched_text_identical"]:
+        status = fail(
+            "patched PTX with elastic knobs on differs from stock — "
+            "elastic state must live in launch params, not the "
+            "instruction stream"
+        )
+    return status
+
+
 #: Every gate, next to the baseline section it reads. A section
 #: missing from bench_baseline.json is reported by name up front
 #: instead of surfacing as a bare KeyError mid-run.
@@ -237,6 +283,7 @@ CHECKS = (
     ("cluster_migration", check_cluster),
     ("telemetry_overhead", check_telemetry),
     ("load_slo", check_load_slo),
+    ("elastic_memory", check_elastic),
 )
 
 

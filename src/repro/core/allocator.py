@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import AllocationError, PartitionError
 from repro.core import masks
@@ -127,18 +128,30 @@ class GuardianAllocator:
         )
         size = old.size
         base = old.base
+        # Growth is all-or-nothing: a doubling chain that fails midway
+        # (a 1M->4M grow whose first buddy is free but whose second is
+        # occupied) must hand every absorbed buddy back, or those bytes
+        # leak — owned by no partition and absent from the gap list.
+        absorbed: list[_Gap] = []
+
+        def _rollback_and_raise(message: str):
+            for gap in absorbed:
+                self._insert_gap(gap)
+            raise PartitionError(message)
+
         while size < target:
             if base % (2 * size) != 0:
-                raise PartitionError(
+                _rollback_and_raise(
                     f"partition of {app_id!r} at {base:#x} is the high "
                     f"buddy of its pair; in-place growth impossible"
                 )
             if not self._take_exact(base + size, size):
-                raise PartitionError(
+                _rollback_and_raise(
                     f"buddy region [{base + size:#x}, "
                     f"{base + 2 * size:#x}) is not free; cannot grow "
                     f"{app_id!r} without migrating it"
                 )
+            absorbed.append(_Gap(base + size, size))
             size *= 2
 
         self.bounds.remove(app_id)
@@ -149,18 +162,140 @@ class GuardianAllocator:
         self._partitions[app_id] = grown
         return grown
 
+    def shrink_partition(self, app_id: str,
+                         min_bytes: int = 4096) -> Partition:
+        """Shrink a tenant's partition in place (inverse of
+        :meth:`grow_partition`, the elastic engine's reclaim step).
+
+        Repeatedly releases the *upper buddy half* while the heap's
+        high-water mark fits in the lower half: the base address — and
+        with it every pointer the tenant holds — is unchanged, only the
+        mask narrows, published to the bounds table under a fresh
+        epoch so subsequent launches pick up the tighter fence.
+        ``min_bytes`` floors the result (tiny partitions buy nothing
+        and churn the bounds table). Returns the (possibly unchanged)
+        partition; a partition that cannot shrink is returned as-is —
+        shrink is opportunistic, never an error.
+        """
+        old = self.partition(app_id)
+        floor = max(
+            old.heap.high_water,
+            masks.next_power_of_two(max(min_bytes, 1))
+            if self.require_power_of_two else max(min_bytes, 1),
+        )
+        size = old.size
+        base = old.base
+        released: list[_Gap] = []
+        while size // 2 >= floor and size // 2 > 0:
+            half = size // 2
+            # Release [base+half, base+size) — the upper buddy. The
+            # heap is trimmed first so a failure (racing allocation
+            # above the cut) leaves the gap list untouched.
+            old.heap.shrink(half)
+            released.append(_Gap(base + half, half))
+            size = half
+        if size == old.size:
+            return old
+        for gap in released:
+            self._insert_gap(gap)
+        self.bounds.remove(app_id)
+        record = self.bounds.register(app_id, base, size)
+        shrunk = Partition(record=record, heap=old.heap)
+        self._partitions[app_id] = shrunk
+        return shrunk
+
+    def largest_carveable(self) -> int:
+        """The largest power-of-two, size-aligned partition the gap
+        list can hold right now — the numerator of the elastic
+        engine's fragmentation score. 0 with no usable gap."""
+        best = 0
+        for gap in self._gaps:
+            size = 1 << (gap.size.bit_length() - 1) if gap.size else 0
+            while size > best:
+                if self._find_fit(size, [gap]) is not None:
+                    best = size
+                    break
+                size //= 2
+        return best
+
+    def fragmentation_score(self) -> float:
+        """``largest_carveable / bytes_unpartitioned`` in [0, 1].
+
+        1.0 means the free space is one perfectly usable block; low
+        values mean free bytes exist but are stranded in gaps too
+        small or misaligned to carve — the signal the
+        :class:`~repro.core.policy.DefragPolicy` triggers on. An
+        allocator with no free bytes scores 1.0 (nothing is stranded).
+        """
+        free = self.bytes_unpartitioned
+        if free == 0:
+            return 1.0
+        return self.largest_carveable() / free
+
+    def best_relocation(self, app_id: str) -> Optional[int]:
+        """Where compaction would move ``app_id``: the lowest aligned
+        base the partition would land on if its own region were free,
+        or ``None`` when no strictly lower placement exists.
+
+        Non-mutating: builds a hypothetical gap view with the tenant's
+        region merged in and runs the same first-fit predicate the real
+        carve uses, so the planned base is exactly where
+        ``create_partition`` will place the tenant after an
+        evacuate/restore cycle.
+        """
+        partition = self.partition(app_id)
+        merged: list[_Gap] = []
+        own = _Gap(partition.base, partition.size)
+        inserted = False
+        for gap in self._gaps:
+            if not inserted and own.start < gap.start:
+                merged.append(_Gap(own.start, own.size))
+                inserted = True
+            merged.append(_Gap(gap.start, gap.size))
+        if not inserted:
+            merged.append(_Gap(own.start, own.size))
+        coalesced: list[_Gap] = []
+        for gap in merged:
+            if coalesced and \
+                    coalesced[-1].start + coalesced[-1].size == gap.start:
+                coalesced[-1].size += gap.size
+            else:
+                coalesced.append(gap)
+        fit = self._find_fit(partition.size, coalesced)
+        if fit is None:
+            return None
+        _, aligned = fit
+        if aligned >= partition.base:
+            return None
+        return aligned
+
     def _take_exact(self, start: int, size: int) -> bool:
-        """Claim exactly [start, start+size) from the gap list."""
-        for index, gap in enumerate(self._gaps):
-            if gap.start <= start and start + size <= gap.start + gap.size:
-                del self._gaps[index]
-                if gap.start < start:
-                    self._insert_gap(_Gap(gap.start, start - gap.start))
-                tail = gap.start + gap.size - (start + size)
-                if tail:
-                    self._insert_gap(_Gap(start + size, tail))
-                return True
-        return False
+        """Claim exactly [start, start+size) from the gap list.
+
+        The gap list is start-sorted (the :meth:`_insert_gap`
+        invariant), so only one gap can possibly contain ``start``: the
+        rightmost gap whose start is <= it — a bisect probe, the same
+        bound as insertion, instead of the previous linear scan (which
+        made buddy-growth churn over a fragmented list quadratic; the
+        micro-bench in tests/core/test_guardian_allocator.py pins it).
+        """
+        gaps = self._gaps
+        index = bisect.bisect_right(
+            gaps, start, key=lambda entry: entry.start
+        ) - 1
+        if index < 0:
+            return False
+        gap = gaps[index]
+        if not (gap.start <= start
+                and start + size <= gap.start + gap.size):
+            return False
+        del gaps[index]
+        if gap.start < start:
+            self._insert_gap(_Gap(gap.start, start - gap.start))
+        tail = gap.start + gap.size - (start + size)
+        if tail:
+            self._insert_gap(_Gap(start + size, tail))
+        return True
 
     def release_partition(self, app_id: str, scrubber=None) -> None:
         """Return a tenant's partition to the free list.
@@ -185,7 +320,8 @@ class GuardianAllocator:
 
         A non-mutating twin of :meth:`create_partition`'s carving step;
         the cluster's placement scheduler uses it to test capacity fit
-        without touching the gap list.
+        without touching the gap list. Shares :meth:`_find_fit` with
+        the mutating path so the two can never disagree.
         """
         if max_bytes <= 0:
             return False
@@ -194,15 +330,7 @@ class GuardianAllocator:
             if self.require_power_of_two
             else max_bytes
         )
-        if self.require_power_of_two:
-            align = size
-        else:
-            align = masks.next_power_of_two(min(size, 1 << 20))
-        for gap in self._gaps:
-            aligned = -(-gap.start // align) * align
-            if gap.size - (aligned - gap.start) >= size:
-                return True
-        return False
+        return self._find_fit(size) is not None
 
     def partition(self, app_id: str) -> Partition:
         try:
@@ -241,33 +369,57 @@ class GuardianAllocator:
 
     # -- size-aligned carving ---------------------------------------------------------
 
+    def _alignment_for(self, size: int) -> int:
+        """The placement alignment a ``size``-byte partition needs:
+        its own size for the bitwise fence, a bounded power of two
+        otherwise (arbitrary-size modes still like aligned bases)."""
+        if self.require_power_of_two:
+            return size
+        return masks.next_power_of_two(min(size, 1 << 20))
+
+    def _find_fit(self, size: int,
+                  gaps: Optional[list[_Gap]] = None
+                  ) -> Optional[tuple[int, int]]:
+        """First aligned fit for ``size`` bytes: ``(gap index, aligned
+        start)``, or ``None`` when no gap can hold it.
+
+        The one fit predicate shared by :meth:`can_carve` (non-mutating
+        probe), :meth:`_take_aligned` (the mutating carve), the elastic
+        engine's fragmentation score (:meth:`largest_carveable`) and
+        its relocation planner (:meth:`best_relocation`, which passes
+        its own hypothetical ``gaps`` view).
+        """
+        align = self._alignment_for(size)
+        for index, gap in enumerate(self._gaps if gaps is None else gaps):
+            aligned = -(-gap.start // align) * align
+            if gap.size - (aligned - gap.start) >= size:
+                return index, aligned
+        return None
+
     def _take_aligned(self, size: int) -> int:
         """First-fit over the gap list, honouring size-alignment.
 
         Alignment waste before the chosen block stays in the gap list
         and remains usable by smaller partitions.
         """
-        if self.require_power_of_two:
-            align = size
-        else:
-            align = masks.next_power_of_two(min(size, 1 << 20))
-        for index, gap in enumerate(self._gaps):
-            aligned = -(-gap.start // align) * align
-            waste = aligned - gap.start
-            if gap.size - waste >= size:
-                remainder_start = aligned + size
-                remainder_size = gap.start + gap.size - remainder_start
-                del self._gaps[index]
-                if waste:
-                    self._insert_gap(_Gap(gap.start, waste))
-                if remainder_size:
-                    self._insert_gap(_Gap(remainder_start, remainder_size))
-                return aligned
-        raise PartitionError(
-            f"cannot carve a {size}-byte aligned partition "
-            f"({self.bytes_unpartitioned} bytes unpartitioned, "
-            f"fragmented over {len(self._gaps)} gaps)"
-        )
+        fit = self._find_fit(size)
+        if fit is None:
+            raise PartitionError(
+                f"cannot carve a {size}-byte aligned partition "
+                f"({self.bytes_unpartitioned} bytes unpartitioned, "
+                f"fragmented over {len(self._gaps)} gaps)"
+            )
+        index, aligned = fit
+        gap = self._gaps[index]
+        waste = aligned - gap.start
+        remainder_start = aligned + size
+        remainder_size = gap.start + gap.size - remainder_start
+        del self._gaps[index]
+        if waste:
+            self._insert_gap(_Gap(gap.start, waste))
+        if remainder_size:
+            self._insert_gap(_Gap(remainder_start, remainder_size))
+        return aligned
 
     def _insert_gap(self, gap: _Gap) -> None:
         """Insert into the start-sorted gap list.

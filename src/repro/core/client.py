@@ -146,6 +146,16 @@ class GuardianClient(GpuBackend):
         """
         return self._call("grow_partition", new_max_bytes)
 
+    def shrink_partition(self) -> int:
+        """Request an opportunistic in-place shrink (elastic engine,
+        DESIGN.md §14); returns the new — possibly unchanged — size.
+
+        All existing device pointers remain valid (the base address is
+        unchanged; only the fence mask narrows). Requires
+        ``ServerConfig.enable_shrink`` on the server.
+        """
+        return self._call("shrink_partition")
+
     def flush(self) -> int:
         """Deliver any batched asynchronous calls now; returns how many
         were delivered. A no-op without batching — callers that want an

@@ -235,3 +235,87 @@ def autoscale_policy(name: str) -> AutoscalePolicy:
             f"unknown autoscale policy {name!r}; expected one of "
             f"{sorted(_AUTOSCALE_POLICIES)}"
         ) from None
+
+
+# --------------------------------------------------------------------------
+# Defragmentation (elastic memory engine, DESIGN.md §14)
+# --------------------------------------------------------------------------
+
+
+class DefragPolicy:
+    """When the elastic engine should compact (DESIGN.md §14).
+
+    ``should_defrag`` receives the allocator's fragmentation view — a
+    dict with at least ``score`` (largest-carveable / unpartitioned
+    bytes, 1.0 = one perfect block), ``largest_carveable``,
+    ``bytes_unpartitioned`` and ``gaps`` — plus the partition size the
+    caller is trying to place (0 for a background sweep). Returning
+    True authorises relocations; the engine still only moves tenants
+    whose relocation strictly lowers their base. Implementations must
+    be pure functions of their arguments (deterministic replans).
+    """
+
+    name = "base"
+
+    def should_defrag(self, view: dict, want_bytes: int = 0) -> bool:
+        raise NotImplementedError
+
+
+class NeverDefragPolicy(DefragPolicy):
+    """Compaction's null hypothesis: never relocate anybody."""
+
+    name = "never"
+
+    def should_defrag(self, view: dict, want_bytes: int = 0) -> bool:
+        return False
+
+
+class ThresholdDefragPolicy(DefragPolicy):
+    """Compact when free space is badly stranded.
+
+    Triggers when the fragmentation score falls below ``threshold``
+    (default 0.5: less than half the free bytes are reachable by the
+    largest possible carve) — or, when the caller is trying to place a
+    partition, whenever the free bytes could hold it but no single gap
+    can (the precise moment compaction converts stranded capacity into
+    an admission).
+    """
+
+    name = "threshold"
+
+    def __init__(self, threshold: float = 0.5):
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(
+                f"defrag threshold must be in [0, 1], got {threshold}"
+            )
+        self.threshold = threshold
+
+    def should_defrag(self, view: dict, want_bytes: int = 0) -> bool:
+        if (want_bytes
+                and view["bytes_unpartitioned"] >= want_bytes
+                and view["largest_carveable"] < want_bytes):
+            return True
+        return view["score"] < self.threshold
+
+
+_DEFRAG_POLICIES = {
+    "never": NeverDefragPolicy,
+    "threshold": ThresholdDefragPolicy,
+}
+
+
+def defrag_policy(name: str, **kwargs) -> DefragPolicy:
+    """Resolve a ``ServerConfig.defrag_policy`` string.
+
+    ``kwargs`` forward to the policy constructor (the server passes
+    ``threshold=config.defrag_threshold``; policies without that knob
+    simply don't accept it).
+    """
+    try:
+        cls = _DEFRAG_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown defrag policy {name!r}; expected one of "
+            f"{sorted(_DEFRAG_POLICIES)}"
+        ) from None
+    return cls(**kwargs)

@@ -210,6 +210,18 @@ class ServerConfig:
       (default — the producer stalls, hardware-ring backpressure) or
       sheds the call (:class:`~repro.errors.QueueSaturated`). ``None``
       keeps the queue unbounded and both paths dead code.
+    - ``enable_shrink`` / ``enable_compaction`` /
+      ``enable_oversubscription``: the elastic memory engine
+      (:mod:`repro.core.elastic`, DESIGN.md §14) — buddy-half shrink of
+      over-provisioned partitions, policy-driven intra-node compaction
+      reusing the migration machinery, and swap-to-host
+      oversubscription with modelled PCIe costs. With all three off
+      (the default) no engine is constructed and the server is the
+      stock server. ``oversubscription_ratio`` hard-caps total declared
+      bytes (resident + swapped) at that multiple of physical capacity;
+      ``defrag_policy``/``defrag_threshold`` select the
+      :class:`~repro.core.policy.DefragPolicy`;
+      ``min_partition_bytes`` floors how far a shrink may go.
     """
 
     enable_patch_cache: bool = False
@@ -232,6 +244,13 @@ class ServerConfig:
     max_resident_tenants: Optional[int] = None
     ipc_queue_limit: Optional[int] = None
     ipc_shed_overflow: bool = False
+    enable_shrink: bool = False
+    enable_compaction: bool = False
+    enable_oversubscription: bool = False
+    oversubscription_ratio: float = 2.0
+    defrag_policy: str = "threshold"
+    defrag_threshold: float = 0.5
+    min_partition_bytes: int = 4096
 
     @classmethod
     def hotpath(cls, **overrides) -> "ServerConfig":
@@ -267,6 +286,17 @@ class ServerConfig:
             enable_ipc_batching=True,
             enable_trace_specialization=True,
             enable_vectorized_bounds=True,
+        )
+        values.update(overrides)
+        return cls(**values)
+
+    @classmethod
+    def elastic(cls, **overrides) -> "ServerConfig":
+        """All three elastic memory mechanisms on (DESIGN.md §14)."""
+        values = dict(
+            enable_shrink=True,
+            enable_compaction=True,
+            enable_oversubscription=True,
         )
         values.update(overrides)
         return cls(**values)
@@ -319,6 +349,15 @@ class ServerStats:
     patch_disk_writes: int = 0
     # Bounded-admission counter (zero unless max_resident_tenants set).
     admissions_rejected: int = 0
+    # Elastic memory counters (zero unless an elastic knob is on).
+    partitions_shrunk: int = 0
+    bytes_reclaimed: int = 0
+    tenants_compacted: int = 0
+    bytes_compacted: int = 0
+    swaps_out: int = 0
+    swaps_in: int = 0
+    bytes_swapped_out: int = 0
+    bytes_swapped_in: int = 0
 
 
 @dataclass(frozen=True)
@@ -526,6 +565,19 @@ class GuardianServer:
         self._tenants: dict[str, _Tenant] = {}
         #: app_id -> attach generation (see _Tenant.incarnation).
         self._incarnations: dict[str, int] = {}
+        # The elastic memory engine (None = all elastic knobs off, the
+        # stock server). Constructed last: the engine reads the
+        # allocator and telemetry attributes above.
+        if (self.config.enable_shrink
+                or self.config.enable_compaction
+                or self.config.enable_oversubscription):
+            from repro.core.elastic import ElasticMemoryEngine
+
+            self.elastic: Optional[ElasticMemoryEngine] = (
+                ElasticMemoryEngine(self)
+            )
+        else:
+            self.elastic = None
 
     # -- tenant lifecycle (not IPC-charged: happens once at attach) -----------
 
@@ -558,6 +610,10 @@ class GuardianServer:
             incarnation=self._next_incarnation(app_id),
         )
         self._tenants[app_id] = tenant
+        if self.elastic is not None:
+            # Recency bookkeeping only (never charged): a tenant that
+            # never launches still has a well-defined LRU age.
+            self.elastic.note_use(app_id)
         if self._concurrent:
             # A fresh lane starts at the critical clock: attaching is a
             # bounds-table write, so the newcomer orders after whatever
@@ -574,6 +630,8 @@ class GuardianServer:
         self._enter(app_id)
         if self.trace_engine is not None:
             self.trace_engine.forget(app_id)
+        if self.elastic is not None:
+            self.elastic.forget(app_id)
         tenant = self._tenants.pop(app_id, None)
         if tenant is not None:
             # Submitted work keeps its functional effects (the deferred
@@ -612,6 +670,24 @@ class GuardianServer:
         # point every lane must order against.
         self._charge(self.costs.malloc, critical=True)
         return partition.size, self.costs.malloc
+
+    def shrink_partition(self, app_id: str):
+        """Opportunistic elastic shrink (inverse of
+        :meth:`grow_partition`, DESIGN.md §14; knob-gated).
+
+        Releases upper buddy halves while the tenant's heap high-water
+        mark fits below: base unchanged, mask narrows, bounds record
+        republished under a fresh epoch. Returns the (possibly
+        unchanged) partition size; a partition that cannot shrink
+        charges nothing.
+        """
+        self._enter(app_id)
+        self._tenant(app_id)  # must be attached
+        if self.elastic is None or not self.config.enable_shrink:
+            raise GuardianError(
+                "partition shrink requires ServerConfig.enable_shrink"
+            )
+        return self.elastic.shrink(app_id)
 
     @property
     def tenant_count(self) -> int:
@@ -1030,6 +1106,11 @@ class GuardianServer:
         self._enter(app_id)
         tenant = self._tenant(app_id)
         self._raise_if_wedged(tenant)
+        if self.elastic is not None:
+            # LRU-by-last-launch input for the swap victim picker;
+            # bookkeeping only, charged nothing. Before the trace
+            # offer so replayed launches refresh recency too.
+            self.elastic.note_use(app_id)
         if self.trace_engine is not None:
             replayed = self.trace_engine.offer(
                 app_id, launch_signature(handle, grid, block, params)
@@ -1210,6 +1291,8 @@ class GuardianServer:
 
         if self.trace_engine is not None:
             self.trace_engine.forget(app_id)
+        if self.elastic is not None:
+            self.elastic.forget(app_id)
         tenant = self._tenants.pop(app_id)
         self.stats.sync_drained_tasks += self.driver.cuStreamSynchronize(
             tenant.stream
@@ -1324,6 +1407,8 @@ class GuardianServer:
         for image in snapshot.modules:
             self._restore_module(tenant, partition, image)
         self._tenants[snapshot.app_id] = tenant
+        if self.elastic is not None:
+            self.elastic.note_use(snapshot.app_id)
         if self._concurrent:
             self._lanes[snapshot.app_id] = _Lane(
                 app_id=snapshot.app_id, clock=self._critical_clock

@@ -54,6 +54,19 @@ class FirstFitAllocator:
     def live_allocations(self) -> int:
         return len(self._live)
 
+    @property
+    def high_water(self) -> int:
+        """Highest live byte offset from ``base`` (0 with nothing live).
+
+        The elastic engine's shrink eligibility test: a partition whose
+        high-water mark fits in its lower buddy half can release the
+        upper half without touching any live allocation.
+        """
+        if not self._live:
+            return 0
+        return max(address + size for address, size in self._live.items()) \
+            - self.base
+
     def allocate(self, size: int) -> int:
         """Return the address of a block of at least ``size`` bytes."""
         if size <= 0:
@@ -85,6 +98,36 @@ class FirstFitAllocator:
             raise ValueError(f"cannot extend by {extra_bytes} bytes")
         self._insert(_FreeBlock(self.base + self.size, extra_bytes))
         self.size += extra_bytes
+
+    def shrink(self, new_size: int) -> None:
+        """Trim the managed range down to ``[base, base + new_size)``.
+
+        The inverse of :meth:`extend`, used by Guardian's partition
+        shrink: the released tail must be entirely free — any live
+        allocation at or above the cut refuses the shrink (the caller
+        checks :attr:`high_water` first; this re-check makes the heap
+        itself safe against racing callers). Free blocks crossing the
+        cut are trimmed; free blocks entirely above it are dropped.
+        """
+        if not 0 < new_size < self.size:
+            raise ValueError(
+                f"shrink target {new_size} outside (0, {self.size})"
+            )
+        cut = self.base + new_size
+        if self.high_water > new_size:
+            raise AllocationError(
+                f"cannot shrink to {new_size} bytes: live allocation "
+                f"reaches offset {self.high_water}"
+            )
+        kept: list[_FreeBlock] = []
+        for block in self._free:
+            if block.start >= cut:
+                continue
+            if block.start + block.size > cut:
+                block.size = cut - block.start
+            kept.append(block)
+        self._free = kept
+        self.size = new_size
 
     def free(self, address: int) -> None:
         """Release a previously allocated block (coalescing neighbours)."""

@@ -15,6 +15,13 @@ from repro.loadgen.arrivals import (
     MarkovModulatedArrivals,
     PoissonArrivals,
 )
+from repro.loadgen.churn import (
+    ChurnConfig,
+    ChurnEvent,
+    ChurnReport,
+    churn_trace,
+    run_churn,
+)
 from repro.loadgen.driver import (
     LoadgenConfig,
     LoadReport,
@@ -35,6 +42,11 @@ __all__ = [
     "ArrivalProcess",
     "MarkovModulatedArrivals",
     "PoissonArrivals",
+    "ChurnConfig",
+    "ChurnEvent",
+    "ChurnReport",
+    "churn_trace",
+    "run_churn",
     "LoadgenConfig",
     "LoadReport",
     "OpenLoopDriver",

@@ -1,0 +1,238 @@
+"""High-churn resident-tenant workload (elastic memory's yardstick).
+
+The PR 9 open-loop driver runs each session to completion before the
+next one starts, so partitions never coexist long enough to fragment
+the carve space. This harness models the opposite regime — the one the
+elastic engine (DESIGN.md §14) exists for: tenants of mixed declared
+sizes arrive on a seeded Poisson process, stay *resident* for a seeded
+exponential hold time, and depart in arbitrary order, so the gap list
+shreds into misaligned holes and a static allocator starts shedding
+newcomers the free bytes could in principle serve.
+
+One seeded event trace (:func:`churn_trace`) replays against any
+server; :func:`run_churn` is elastic-aware — when the server carries
+an engine it calls :meth:`~repro.core.elastic.ElasticMemoryEngine.
+make_room` before attaching and
+:meth:`~repro.core.elastic.ElasticMemoryEngine.ensure_resident` before
+touching a possibly-swapped tenant — and degrades to plain
+attach-or-shed against a stock server, so the elastic-vs-static
+comparison in ``benchmarks/test_elastic_memory.py`` replays the *same*
+trace through the *same* code path with only the server config
+differing.
+
+Tenants attach through :class:`~repro.core.elastic.ElasticClient` in
+both arms (its translation shim is a zero-delta pass-through until
+something moves), so client-side overheads are identical by
+construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.elastic import ElasticClient
+from repro.errors import AdmissionRejected, PartitionError
+
+__all__ = [
+    "ChurnConfig",
+    "ChurnEvent",
+    "ChurnReport",
+    "churn_trace",
+    "run_churn",
+]
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Shape of the high-churn mixed-size arrival trace.
+
+    ``sizes``/``size_weights`` define the declared-partition mix
+    (small tenants common, big ones rare — the mix that shreds a buddy
+    gap list). Most tenants are *light*: they declare a size but touch
+    only ``light_touch_bytes`` (the over-provisioning the shrink
+    mechanism harvests). Every ``heavy_every``-th tenant is *heavy* and
+    actually touches ``heavy_touch_fraction`` of its declared bytes.
+    Every ``touch_every``-th tenant revisits its buffer mid-hold — the
+    access that forces a swapped-out partition back onto the GPU.
+    """
+
+    sessions: int = 120
+    seed: int = 2024
+    #: Mean inter-arrival time in modelled cycles (Poisson process).
+    mean_interarrival_cycles: float = 200_000.0
+    #: Mean resident hold time in modelled cycles (exponential).
+    mean_hold_cycles: float = 2_000_000.0
+    sizes: tuple[int, ...] = (1 << 20, 2 << 20, 4 << 20, 8 << 20)
+    size_weights: tuple[float, ...] = (4.0, 3.0, 2.0, 1.0)
+    light_touch_bytes: int = 4096
+    heavy_touch_fraction: float = 0.5
+    heavy_every: int = 5
+    touch_every: int = 3
+
+    def __post_init__(self):
+        if self.sessions < 1:
+            raise ValueError("churn needs at least one session")
+        if len(self.sizes) != len(self.size_weights) or not self.sizes:
+            raise ValueError("sizes and size_weights must match, non-empty")
+        if self.mean_interarrival_cycles <= 0 or self.mean_hold_cycles <= 0:
+            raise ValueError("arrival and hold means must be positive")
+        if not 0.0 < self.heavy_touch_fraction <= 1.0:
+            raise ValueError("heavy_touch_fraction must be in (0, 1]")
+        if self.heavy_every < 1 or self.touch_every < 1:
+            raise ValueError("heavy_every and touch_every must be >= 1")
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One point on the churn timeline (cycles are virtual time)."""
+
+    at: float
+    kind: str  # "arrive" | "touch" | "depart"
+    index: int
+    size: int
+    touch_bytes: int
+
+
+#: Departures free capacity before same-instant arrivals claim it.
+_KIND_ORDER = {"depart": 0, "touch": 1, "arrive": 2}
+
+
+def churn_trace(config: ChurnConfig) -> list[ChurnEvent]:
+    """The seeded event trace: same config, same events, always."""
+    rng = random.Random(config.seed)
+    events: list[ChurnEvent] = []
+    now = 0.0
+    for index in range(config.sessions):
+        now += rng.expovariate(1.0 / config.mean_interarrival_cycles)
+        size = rng.choices(config.sizes,
+                           weights=config.size_weights)[0]
+        heavy = (index % config.heavy_every) == config.heavy_every - 1
+        touch = (
+            int(size * config.heavy_touch_fraction)
+            if heavy else config.light_touch_bytes
+        )
+        hold = rng.expovariate(1.0 / config.mean_hold_cycles)
+        events.append(ChurnEvent(now, "arrive", index, size, touch))
+        if (index % config.touch_every) == config.touch_every - 1:
+            events.append(
+                ChurnEvent(now + hold / 2, "touch", index, size, touch)
+            )
+        events.append(
+            ChurnEvent(now + hold, "depart", index, size, touch)
+        )
+    events.sort(key=lambda e: (e.at, _KIND_ORDER[e.kind], e.index))
+    return events
+
+
+@dataclass
+class ChurnReport:
+    """What one churn replay did and what the server did about it."""
+
+    offered: int = 0
+    admitted: int = 0
+    shed: int = 0
+    departed: int = 0
+    touches: int = 0
+    touches_failed: int = 0
+    # Elastic activity, copied off ServerStats at the end of the run
+    # (all zero against a stock server).
+    partitions_shrunk: int = 0
+    bytes_reclaimed: int = 0
+    tenants_compacted: int = 0
+    swaps_out: int = 0
+    swaps_in: int = 0
+    bytes_swapped: int = 0
+    server_cycles: float = 0.0
+    fragmentation_score: float = 1.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def goodput_sessions(self) -> int:
+        """Admitted sessions — the capacity-recovery numerator."""
+        return self.admitted
+
+
+@dataclass
+class _Resident:
+    client: ElasticClient
+    buffer: int
+    payload: bytes
+
+
+def run_churn(server, config: ChurnConfig) -> ChurnReport:
+    """Replay the churn trace against a live server.
+
+    Elastic-aware (see module docstring); the static arm takes exactly
+    the same path minus the two engine calls. A shed is a tenant the
+    server could not place (:class:`~repro.errors.PartitionError` from
+    the carve, or :class:`~repro.errors.AdmissionRejected` from
+    bounded admission); a failed touch is a swapped tenant that could
+    not be brought back (counted, not fatal — the tenant stays parked
+    until departure).
+    """
+    engine = server.elastic
+    events = churn_trace(config)
+    report = ChurnReport()
+    residents: dict[int, _Resident] = {}
+
+    for event in events:
+        if event.kind == "depart":
+            resident = residents.pop(event.index, None)
+            if resident is not None:
+                resident.client.close()
+                report.departed += 1
+            continue
+
+        if event.kind == "touch":
+            resident = residents.get(event.index)
+            if resident is None:
+                continue  # was shed on arrival
+            report.touches += 1
+            app_id = resident.client.app_id
+            if engine is not None and engine.is_swapped(app_id):
+                try:
+                    engine.ensure_resident(app_id)
+                except PartitionError:
+                    report.touches_failed += 1
+                    continue
+            resident.client.memcpy_h2d(resident.buffer, resident.payload)
+            resident.client.synchronize()
+            continue
+
+        # -- arrival -----------------------------------------------------
+        report.offered += 1
+        app_id = f"churn-{event.index}"
+        if engine is not None and not server.allocator.can_carve(event.size):
+            engine.make_room(event.size)
+        try:
+            client = ElasticClient(server, app_id, event.size)
+        except (PartitionError, AdmissionRejected):
+            report.shed += 1
+            continue
+        if engine is not None:
+            engine.bind_client(app_id, client)
+        buffer = client.malloc(event.touch_bytes)
+        payload = b"\x5a" * min(event.touch_bytes, 4096)
+        client.memcpy_h2d(buffer, payload)
+        client.synchronize()
+        residents[event.index] = _Resident(client, buffer, payload)
+        report.admitted += 1
+
+    for resident in residents.values():
+        resident.client.close()
+
+    stats = server.stats
+    report.partitions_shrunk = stats.partitions_shrunk
+    report.bytes_reclaimed = stats.bytes_reclaimed
+    report.tenants_compacted = stats.tenants_compacted
+    report.swaps_out = stats.swaps_out
+    report.swaps_in = stats.swaps_in
+    report.bytes_swapped = stats.bytes_swapped_out + stats.bytes_swapped_in
+    report.server_cycles = stats.cycles
+    report.fragmentation_score = server.allocator.fragmentation_score()
+    return report

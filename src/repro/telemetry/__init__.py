@@ -102,6 +102,27 @@ class Telemetry:
             "loadgen_capacity_lanes",
             "service capacity (lanes) after the latest control tick",
         )
+        # Elastic memory engine families (repro.core.elastic, DESIGN.md
+        # §14). Fed only by the engine — a stock server (no elastic
+        # knob on) carries them declared-but-empty.
+        self.elastic_ops = self.registry.counter(
+            "guardian_elastic_ops_total",
+            "elastic memory operations, by op "
+            "(shrink / compact / swap_out / swap_in)",
+        )
+        self.elastic_bytes = self.registry.counter(
+            "guardian_elastic_bytes_total",
+            "bytes moved or reclaimed by elastic operations, by op",
+        )
+        self.elastic_fragmentation = self.registry.gauge(
+            "guardian_fragmentation_score",
+            "largest-carveable / bytes-unpartitioned after the latest "
+            "elastic operation (1.0 = nothing stranded)",
+        )
+        self.elastic_swapped = self.registry.gauge(
+            "guardian_swapped_bytes",
+            "bytes currently swapped out to host memory",
+        )
 
     # -- hook-point helpers -------------------------------------------------------
 
@@ -141,6 +162,18 @@ class Telemetry:
 
     def record_capacity(self, lanes: int) -> None:
         self.loadgen_capacity.set(lanes)
+
+    def record_elastic_op(self, op: str, nbytes: int) -> None:
+        """One elastic memory operation (the engine's hook)."""
+        self.elastic_ops.inc(op=op)
+        self.elastic_bytes.inc(nbytes, op=op)
+
+    def record_elastic_state(self, score: float,
+                             swapped_bytes: int) -> None:
+        """The engine's post-operation gauges: fragmentation score and
+        host-resident swap bytes."""
+        self.elastic_fragmentation.set(score)
+        self.elastic_swapped.set(swapped_bytes)
 
     # -- snapshots ---------------------------------------------------------------
 

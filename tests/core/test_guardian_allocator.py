@@ -201,3 +201,222 @@ class TestProperties:
             except AllocationError:
                 break
             assert record.contains(address, size)
+
+class TestTakeExactScaling:
+    """``_take_exact`` is a bisect probe, not a linear scan.
+
+    Buddy growth repeatedly claims exact regions from the gap list;
+    over a fragmented list the old linear scan made that quadratic.
+    Same methodology as :class:`TestGapListScaling`: pin the
+    complexity class with a min-of-5 ratio, not a wall-clock number.
+    """
+
+    @staticmethod
+    def _exact_churn(n, size=4096):
+        allocator = make_allocator(require_pow2=False)
+        allocator._gaps.clear()
+        starts = [BASE + i * 2 * size for i in range(n)]
+        for start in starts:
+            allocator._insert_gap(_Gap(start, size))
+        begin = time.perf_counter()
+        # Highest-first: a linear scan walks the whole surviving list
+        # for every claim; the bisect probe lands in one hop.
+        for start in reversed(starts):
+            assert allocator._take_exact(start, size)
+        elapsed = time.perf_counter() - begin
+        return elapsed, allocator._gaps
+
+    def test_exact_claims_scale_near_linearly(self):
+        small = min(self._exact_churn(256)[0] for _ in range(5))
+        big = min(self._exact_churn(1024)[0] for _ in range(5))
+        assert big / small < 9.0, (
+            f"_take_exact churn scaled {big / small:.1f}x for 4x gaps "
+            f"— the linear containment scan is back"
+        )
+
+    def test_exact_claims_drain_the_list(self):
+        _, gaps = self._exact_churn(128)
+        assert gaps == []
+
+    def test_partial_claims_split_correctly(self):
+        allocator = make_allocator(require_pow2=False)
+        assert allocator._take_exact(BASE + 4096, 4096)
+        starts = [(gap.start, gap.size) for gap in allocator._gaps]
+        assert starts == [(BASE, 4096),
+                          (BASE + 8192, TOTAL - 8192)]
+        assert not allocator._take_exact(BASE + 4096, 4096)
+
+
+class TestGrowEdgeCases:
+    def test_high_buddy_failure_leaves_state_untouched(self):
+        allocator = make_allocator()
+        allocator.create_partition("low", 1 << 20)
+        allocator.create_partition("high", 1 << 20)
+        # "high" sits at an odd multiple of its size: the high buddy.
+        assert allocator.partition("high").base % (2 << 20) != 0
+        gaps = [(g.start, g.size) for g in allocator._gaps]
+        record = allocator.bounds.lookup("high")
+        with pytest.raises(PartitionError, match="high buddy"):
+            allocator.grow_partition("high", 2 << 20)
+        assert [(g.start, g.size) for g in allocator._gaps] == gaps
+        assert allocator.bounds.lookup("high") is record
+
+    def test_occupied_buddy_failure_leaves_state_untouched(self):
+        allocator = make_allocator()
+        allocator.create_partition("a", 1 << 20)
+        allocator.create_partition("b", 1 << 20)  # sits in a's buddy
+        gaps = [(g.start, g.size) for g in allocator._gaps]
+        with pytest.raises(PartitionError, match="not free"):
+            allocator.grow_partition("a", 2 << 20)
+        assert [(g.start, g.size) for g in allocator._gaps] == gaps
+        assert allocator.partition("a").size == 1 << 20
+
+    def test_midway_failure_rolls_back_absorbed_buddies(self):
+        allocator = make_allocator()
+        allocator.create_partition("a", 1 << 20)       # [0, 1M)
+        allocator.create_partition("blocker", 1 << 20)  # [1M, 2M)
+        allocator.release_partition("blocker")
+        allocator.create_partition("wall", 2 << 20)     # [2M, 4M)
+        # 1M -> 4M absorbs the free [1M, 2M) buddy, then hits "wall".
+        free_before = allocator.bytes_unpartitioned
+        gaps = [(g.start, g.size) for g in allocator._gaps]
+        with pytest.raises(PartitionError, match="not free"):
+            allocator.grow_partition("a", 4 << 20)
+        assert allocator.bytes_unpartitioned == free_before
+        assert [(g.start, g.size) for g in allocator._gaps] == gaps
+        assert allocator.partition("a").size == 1 << 20
+
+    def test_grown_heap_serves_absorbed_region(self):
+        allocator = make_allocator()
+        allocator.create_partition("a", 1 << 20)
+        first = allocator.malloc("a", 1 << 20)  # partition is full
+        allocator.grow_partition("a", 2 << 20)
+        second = allocator.malloc("a", 1 << 20)
+        record = allocator.bounds.lookup("a")
+        assert record.contains(second, 1 << 20)
+        assert second == first + (1 << 20)  # the absorbed upper half
+
+    def test_grow_then_shrink_round_trips_mask_and_epoch(self):
+        allocator = make_allocator()
+        allocator.create_partition("a", 1 << 20)
+        allocator.malloc("a", 4096)
+        base = allocator.partition("a").base
+        epoch = allocator.bounds.epoch("a")
+        allocator.grow_partition("a", 4 << 20)
+        assert allocator.bounds.lookup("a").mask == (4 << 20) - 1
+        assert allocator.bounds.epoch("a") == epoch + 2
+        shrunk = allocator.shrink_partition("a")
+        assert shrunk.base == base
+        assert allocator.bounds.lookup("a").mask == shrunk.size - 1
+        assert allocator.bounds.epoch("a") == epoch + 4
+        assert shrunk.size <= 1 << 20
+
+
+class TestShrinkPartition:
+    def test_refuses_below_high_water(self):
+        allocator = make_allocator()
+        allocator.create_partition("a", 4 << 20)
+        allocator.malloc("a", (3 << 20))  # high water in the top half
+        assert allocator.shrink_partition("a").size == 4 << 20
+
+    def test_min_bytes_floors_the_shrink(self):
+        allocator = make_allocator()
+        allocator.create_partition("a", 1 << 20)
+        allocator.malloc("a", 64)
+        assert allocator.shrink_partition(
+            "a", min_bytes=128 << 10).size == 128 << 10
+
+    def test_released_halves_coalesce_with_free_space(self):
+        allocator = make_allocator()
+        allocator.create_partition("a", TOTAL)
+        allocator.malloc("a", 4096)
+        allocator.shrink_partition("a")
+        # One gap: everything above the shrunk partition, in one piece.
+        assert len(allocator._gaps) == 1
+        partition = allocator.partition("a")
+        assert allocator._gaps[0].start == partition.base + partition.size
+        assert allocator.bytes_unpartitioned == TOTAL - partition.size
+
+
+class TestFragmentationView:
+    def test_pristine_and_exhausted_score_one(self):
+        allocator = make_allocator()
+        assert allocator.fragmentation_score() == 1.0
+        allocator.create_partition("a", TOTAL)
+        assert allocator.fragmentation_score() == 1.0  # nothing stranded
+
+    def test_interleaved_departures_strand_capacity(self):
+        allocator = make_allocator()
+        for i in range(8):
+            allocator.create_partition(str(i), TOTAL // 8)
+        for i in range(0, 8, 2):
+            allocator.release_partition(str(i))
+        assert allocator.largest_carveable() == TOTAL // 8
+        assert allocator.fragmentation_score() == pytest.approx(0.25)
+
+    def test_largest_carveable_honours_alignment(self):
+        allocator = make_allocator()
+        allocator.create_partition("a", TOTAL // 4)
+        allocator.create_partition("b", TOTAL // 4)
+        allocator.create_partition("c", TOTAL // 2)
+        allocator.release_partition("b")
+        allocator.release_partition("c")
+        # 3/4 of the space is free and contiguous, but a TOTAL/2
+        # carve must sit size-aligned — only the upper half works.
+        assert allocator.largest_carveable() == TOTAL // 2
+        assert allocator.can_carve(TOTAL // 2)
+        assert not allocator.can_carve(TOTAL)
+
+    def test_find_fit_agrees_with_carve_paths(self):
+        allocator = make_allocator()
+        for i in range(6):
+            allocator.create_partition(str(i), 1 << 20)
+        for i in range(0, 6, 2):
+            allocator.release_partition(str(i))
+        for size in (1 << 19, 1 << 20, 2 << 20, 4 << 20, TOTAL):
+            fit = allocator._find_fit(size)
+            assert allocator.can_carve(size) == (fit is not None)
+            if fit is not None:
+                index, aligned = fit
+                assert aligned % size == 0
+                assert allocator._take_aligned(size) == aligned
+                allocator._insert_gap(_Gap(aligned, size))
+
+
+class TestBestRelocation:
+    def test_plans_lowest_gap(self):
+        allocator = make_allocator()
+        allocator.create_partition("pad", 1 << 20)
+        allocator.create_partition("mover", 1 << 20)
+        hole = allocator.partition("pad").base
+        allocator.release_partition("pad")
+        assert allocator.best_relocation("mover") == hole
+
+    def test_none_when_already_lowest(self):
+        allocator = make_allocator()
+        allocator.create_partition("a", 1 << 20)
+        assert allocator.best_relocation("a") is None
+
+    def test_is_non_mutating_and_matches_real_carve(self):
+        allocator = make_allocator()
+        allocator.create_partition("pad", 1 << 20)
+        allocator.create_partition("mover", 1 << 20)
+        allocator.release_partition("pad")
+        gaps = [(g.start, g.size) for g in allocator._gaps]
+        planned = allocator.best_relocation("mover")
+        assert [(g.start, g.size) for g in allocator._gaps] == gaps
+        # Replaying the plan lands exactly where predicted.
+        allocator.release_partition("mover")
+        assert allocator.create_partition(
+            "mover", 1 << 20).base == planned
+
+    def test_merges_own_region_into_the_gap_view(self):
+        allocator = make_allocator()
+        allocator.create_partition("below", 1 << 20)   # [0M, 1M)
+        allocator.create_partition("mover", 2 << 20)   # [2M, 4M)
+        allocator.release_partition("below")
+        # No free gap alone holds an aligned 2M ([0M, 2M) is split
+        # around nothing but starts free, [4M, ...) is not *lower*),
+        # but merged with the mover's own region the view is [0M, 4M)
+        # and the mover can slide to the bottom.
+        assert allocator.best_relocation("mover") == BASE

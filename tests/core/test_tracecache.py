@@ -335,3 +335,62 @@ class TestBitIdentity:
         assert traced.stats.traces_compiled == 1
         assert traced.stats.trace_replays == len(payloads) - 2
         assert stock.stats.traces_compiled == 0
+
+class TestElasticInvalidation:
+    """Elastic mutations (DESIGN.md §14) drop traces cleanly: shrink
+    invalidates eagerly like grow, compaction and swap funnel through
+    the lifecycle forget — a specialized block can never replay
+    against a stale base, mask, or stream."""
+
+    @staticmethod
+    def _elastic_traced(**overrides):
+        return traced_server(enable_shrink=True, enable_compaction=True,
+                             enable_oversubscription=True, **overrides)
+
+    def test_shrink_invalidates_eagerly_then_reheats(self):
+        server = self._elastic_traced()
+        handle, buf = deploy(server)
+        heat(server, "alice", handle, buf)
+        assert server.trace_engine.has_trace("alice")
+        new_size, _ = server.shrink_partition("alice")
+        assert new_size < 1 << 20
+        assert not server.trace_engine.has_trace("alice")
+        assert server.stats.trace_invalidations == 1
+        # Re-heats under the narrower mask and replays again.
+        heat(server, "alice", handle, buf)
+        run_block(server, "alice", handle, buf)
+        assert server.stats.traces_compiled == 2
+        assert server.stats.trace_replays == 1
+
+    def test_noop_shrink_keeps_the_trace(self):
+        server = self._elastic_traced(min_partition_bytes=1 << 20)
+        handle, buf = deploy(server)
+        heat(server, "alice", handle, buf)
+        new_size, _ = server.shrink_partition("alice")
+        assert new_size == 1 << 20  # floored: nothing happened
+        assert server.trace_engine.has_trace("alice")
+        assert server.stats.trace_invalidations == 0
+
+    def test_compaction_forgets_via_lifecycle(self):
+        server = self._elastic_traced()
+        server.attach("pad", 1 << 20)
+        handle, buf = deploy(server)
+        heat(server, "alice", handle, buf)
+        server.detach("pad")  # open a lower hole
+        assert server.elastic.compact("alice") is not None
+        assert not server.trace_engine.has_trace("alice")
+
+    def test_swap_out_forgets_and_swap_in_starts_cold(self):
+        server = self._elastic_traced()
+        handle, buf = deploy(server)
+        heat(server, "alice", handle, buf)
+        server.elastic.swap_out("alice")
+        assert not server.trace_engine.has_trace("alice")
+        server.elastic.ensure_resident("alice")
+        # Cold start: record, compile, replay — from scratch.
+        run_block(server, "alice", handle, buf)
+        assert server.stats.trace_replays == 0
+        run_block(server, "alice", handle, buf)
+        assert server.stats.traces_compiled == 2
+        run_block(server, "alice", handle, buf)
+        assert server.stats.trace_replays == 1

@@ -1,0 +1,106 @@
+"""High-churn resident-tenant harness: determinism, ordering, and the
+elastic-vs-static capacity recovery it exists to measure."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.server import GuardianServer, ServerConfig
+from repro.gpu.device import Device
+from repro.gpu.specs import MIB, QUADRO_RTX_A4000
+from repro.loadgen import ChurnConfig, churn_trace, run_churn
+
+SMALL = dataclasses.replace(QUADRO_RTX_A4000,
+                            global_memory_bytes=17 * MIB)
+
+
+def small_server(config=None) -> GuardianServer:
+    return GuardianServer(Device(SMALL), config=config or ServerConfig())
+
+
+class TestChurnTrace:
+    def test_deterministic_per_seed(self):
+        config = ChurnConfig(sessions=40, seed=11)
+        assert churn_trace(config) == churn_trace(config)
+        assert (churn_trace(config)
+                != churn_trace(ChurnConfig(sessions=40, seed=12)))
+
+    def test_every_session_arrives_and_departs(self):
+        events = churn_trace(ChurnConfig(sessions=30))
+        arrivals = [e.index for e in events if e.kind == "arrive"]
+        departs = [e.index for e in events if e.kind == "depart"]
+        assert sorted(arrivals) == list(range(30))
+        assert sorted(departs) == list(range(30))
+
+    def test_time_sorted_with_departs_first(self):
+        events = churn_trace(ChurnConfig(sessions=60))
+        instants = [e.at for e in events]
+        assert instants == sorted(instants)
+        # At any shared instant a departure sorts before an arrival,
+        # so freed capacity is visible to the newcomer.
+        from repro.loadgen.churn import _KIND_ORDER
+
+        keys = [(e.at, _KIND_ORDER[e.kind]) for e in events]
+        assert keys == sorted(keys)
+
+    def test_heavy_and_touch_cadence(self):
+        config = ChurnConfig(sessions=20, heavy_every=5, touch_every=3)
+        events = churn_trace(config)
+        heavies = {e.index for e in events
+                   if e.kind == "arrive"
+                   and e.touch_bytes > config.light_touch_bytes}
+        assert heavies == {4, 9, 14, 19}
+        touched = {e.index for e in events if e.kind == "touch"}
+        assert touched == {2, 5, 8, 11, 14, 17}
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ChurnConfig(sessions=0)
+        with pytest.raises(ValueError, match="must match"):
+            ChurnConfig(sizes=(1, 2), size_weights=(1.0,))
+        with pytest.raises(ValueError, match="positive"):
+            ChurnConfig(mean_hold_cycles=0)
+
+
+class TestRunChurn:
+    CONFIG = ChurnConfig(sessions=60, seed=7)
+
+    def test_static_server_sheds_under_churn(self):
+        report = run_churn(small_server(), self.CONFIG)
+        assert report.offered == 60
+        assert report.admitted + report.shed == 60
+        assert report.shed > 0  # the regime the engine exists for
+        assert report.partitions_shrunk == 0
+        assert report.swaps_out == 0
+
+    def test_elastic_server_recovers_capacity(self):
+        static = run_churn(small_server(), self.CONFIG)
+        elastic = run_churn(small_server(ServerConfig.elastic()),
+                            self.CONFIG)
+        assert elastic.admitted > static.admitted
+        assert elastic.shed_rate <= static.shed_rate
+        # At least one mechanism did real work.
+        assert (elastic.partitions_shrunk + elastic.tenants_compacted
+                + elastic.swaps_out) > 0
+
+    def test_all_residents_released_at_end(self):
+        server = small_server(ServerConfig.elastic())
+        run_churn(server, self.CONFIG)
+        assert server.tenant_count == 0
+        assert server.allocator.bytes_partitioned == 0
+        assert server.elastic.swapped_bytes == 0
+
+    def test_touches_revive_swapped_tenants(self):
+        config = ChurnConfig(sessions=80, seed=5)
+        report = run_churn(small_server(ServerConfig.elastic()), config)
+        assert report.touches > 0
+        assert report.touches_failed == 0
+
+    def test_report_replays_are_reproducible(self):
+        first = run_churn(small_server(ServerConfig.elastic()),
+                          self.CONFIG)
+        second = run_churn(small_server(ServerConfig.elastic()),
+                           self.CONFIG)
+        assert first.admitted == second.admitted
+        assert first.server_cycles == second.server_cycles
+        assert first.bytes_swapped == second.bytes_swapped
